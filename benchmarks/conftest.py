@@ -1,0 +1,16 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table or figure of the paper.  Fault-sample
+sizes honour ``REPRO_FAULTS`` / ``REPRO_FAULTS_LARGE`` (defaults 120 / 60;
+the paper's protocol uses 500 — run ``examples/full_reproduction.py`` for
+that).  Heavy experiments run a single round: the interesting output is the
+table itself (printed; run pytest with ``-s`` to see it inline) plus the
+wall-clock cost of a full diagnosis campaign.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

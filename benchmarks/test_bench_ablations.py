@@ -1,0 +1,84 @@
+"""Bench: ablation studies for the design choices DESIGN.md calls out.
+
+1. Interval partitions in step one (paper: "one or two are usually adequate").
+2. Groups per partition (paper: "more groups on the longer meta scan chains").
+3. MISR width / aliasing vs exact comparison.
+4. Deterministic fixed intervals [8] vs LFSR-drawn intervals.
+5. Adaptive binary search [6] session cost vs two-step.
+"""
+
+from repro.experiments.ablations import (
+    run_aliasing_ablation,
+    run_binary_search_ablation,
+    run_deterministic_ablation,
+    run_group_count_ablation,
+    run_interval_count_ablation,
+)
+from repro.experiments.config import default_config
+
+from .conftest import run_once
+
+
+def test_ablation_interval_count(benchmark):
+    result = run_once(benchmark, run_interval_count_ablation, config=default_config())
+    print()
+    print(result.render())
+    # Using at least one interval partition must beat none.
+    assert result.dr_by_interval_count[1] <= result.dr_by_interval_count[0] + 1e-9
+
+
+def test_ablation_group_count(benchmark):
+    result = run_once(benchmark, run_group_count_ablation, config=default_config())
+    print()
+    print(result.render())
+    # More groups (more sessions) never hurts resolution.
+    drs = [row[3] for row in result.rows]
+    assert all(a >= b - 1e-9 for a, b in zip(drs, drs[1:]))
+
+
+def test_ablation_aliasing(benchmark):
+    result = run_once(benchmark, run_aliasing_ablation, config=default_config())
+    print()
+    print(result.render())
+    exact_row = result.rows[0]
+    assert exact_row[0] == "exact" and exact_row[2] == 0
+
+
+def test_ablation_deterministic(benchmark):
+    result = run_once(benchmark, run_deterministic_ablation, config=default_config())
+    print()
+    print(result.render())
+    assert len(result.rows) == 6
+
+
+def test_ablation_binary_search(benchmark):
+    result = run_once(benchmark, run_binary_search_ablation, config=default_config())
+    print()
+    print(result.render())
+    # Binary search reaches (near-)exact resolution but is adaptive; the
+    # partition approach spends a fixed pre-planned session budget.
+    assert result.dr_binary <= result.dr_two_step + 1e-9
+
+
+def test_ablation_pattern_count(benchmark):
+    from repro.experiments.patterns_ablation import run_pattern_count_ablation
+
+    result = run_once(benchmark, run_pattern_count_ablation, config=default_config())
+    print()
+    print(result.render())
+    coverages = [row[1] for row in result.rows]
+    assert all(a <= b + 1e-12 for a, b in zip(coverages, coverages[1:]))
+
+
+def test_ablation_error_model(benchmark):
+    from repro.experiments.error_model import run_error_model_ablation
+
+    result = run_once(benchmark, run_error_model_ablation, config=default_config())
+    print()
+    print(result.render())
+    by_protocol = {row[0]: row for row in result.rows}
+    # The paper's Section 4 claim: real fault injection yields DR at least
+    # as large as the random-error-injection protocol of prior work.
+    assert (
+        by_protocol["real-faults"][3] >= by_protocol["random-errors"][3] - 1e-9
+    )

@@ -1,0 +1,21 @@
+"""Bench: Figure 2 evidence — failing scan cells cluster into a small
+segment of the scan chain (the structural premise behind interval-based
+partitioning)."""
+
+from repro.experiments.clustering import run_clustering
+from repro.experiments.config import default_config
+
+from .conftest import run_once
+
+
+def test_clustering(benchmark):
+    result = run_once(
+        benchmark, run_clustering, ("s953", "s5378", "s9234"), default_config()
+    )
+    print()
+    print(result.render())
+    for row in result.rows:
+        assert row.mean_relative_span < 0.5, (
+            f"{row.circuit}: failing cells not clustered "
+            f"(mean span/chain = {row.mean_relative_span:.2f})"
+        )

@@ -1,0 +1,68 @@
+"""Bench: extension experiments — failing-vector identification ([4]),
+scan-chain ordering (the clustering premise made causal), and the
+two-faulty-cores SOC scenario (paper Section 5 discussion)."""
+
+from repro.experiments.config import default_config
+from repro.experiments.extensions import (
+    run_multi_core,
+    run_scan_order_ablation,
+    run_vector_diagnosis,
+)
+
+from .conftest import run_once
+
+
+def test_extension_vector_diagnosis(benchmark):
+    result = run_once(benchmark, run_vector_diagnosis, config=default_config())
+    print()
+    print(result.render())
+    assert all(row[2] >= 0 for row in result.rows)
+
+
+def test_extension_scan_order(benchmark):
+    result = run_once(benchmark, run_scan_order_ablation, config=default_config())
+    print()
+    print(result.render())
+    by_label = {row[0]: row for row in result.rows}
+    # Shuffling the scan order must grow the failing-cell span...
+    assert by_label["random"][1] > by_label["structural"][1]
+    # ...and hurt the interval scheme more than it hurts random selection.
+    interval_loss = by_label["random"][2] - by_label["structural"][2]
+    random_loss = by_label["random"][3] - by_label["structural"][3]
+    assert interval_loss > random_loss - 1e-9
+
+
+def test_extension_multi_core(benchmark):
+    result = run_once(benchmark, run_multi_core, config=default_config())
+    print()
+    print(result.render())
+    by_scheme = {row[0]: row[1] for row in result.rows}
+    assert by_scheme["two-step"] <= by_scheme["random"] + 1e-9
+
+
+def test_extension_atpg_topup(benchmark):
+    from repro.experiments.atpg_topup import run_atpg_topup
+
+    result = run_once(benchmark, run_atpg_topup, config=default_config())
+    print()
+    print(result.render())
+    for row in result.rows:
+        assert row.combined_coverage >= row.random_coverage - 1e-12
+
+
+def test_extension_diagnosis_time(benchmark):
+    from repro.experiments.extensions import run_diagnosis_time
+
+    result = run_once(benchmark, run_diagnosis_time, config=default_config())
+    print()
+    print(result.render())
+    assert len(result.rows) == 6
+
+
+def test_extension_schedule(benchmark):
+    from repro.experiments.extensions import run_schedule_diagnosis
+
+    result = run_once(benchmark, run_schedule_diagnosis, config=default_config())
+    print()
+    print(result.render())
+    assert len(result.rows) == 8

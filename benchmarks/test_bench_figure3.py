@@ -1,0 +1,23 @@
+"""Bench: Figure 3 — single-partition worked example on s953: interval vs
+random group contents and suspect counts for one injected fault.
+
+Expected shape (paper): the interval partition keeps the clustered failing
+cells in few groups, leaving fewer suspects than random selection, which
+fragments the cluster.
+"""
+
+from repro.experiments.config import default_config
+from repro.experiments.figure3 import run_figure3
+
+from .conftest import run_once
+
+
+def test_figure3(benchmark):
+    result = run_once(benchmark, run_figure3, default_config())
+    print()
+    print(result.render())
+    assert result.interval_suspects >= len(result.failing_cells)
+    assert result.random_suspects >= len(result.failing_cells)
+    # The suspect count can never exceed the chain.
+    assert result.interval_suspects <= result.num_cells
+    assert result.random_suspects <= result.num_cells

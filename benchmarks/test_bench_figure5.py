@@ -1,0 +1,27 @@
+"""Bench: Figure 5 — number of partitions to reach DR = 0.5 per failing
+core on SOC 1 (single meta scan chain), random vs two-step.
+
+Expected shape (paper): the two-step approach requires a smaller (or equal)
+number of partitions than random selection for every failing module, i.e.
+shorter diagnosis time.
+"""
+
+from repro.experiments.config import default_config
+from repro.experiments.figure5 import MAX_PARTITIONS, run_figure5
+
+from .conftest import run_once
+
+
+def test_figure5(benchmark):
+    result = run_once(benchmark, run_figure5, default_config())
+    print()
+    print(result.render())
+    better_or_equal = 0
+    total = 0
+    for by_scheme in result.partitions_needed.values():
+        random_needed = by_scheme["random"] or MAX_PARTITIONS + 1
+        two_step_needed = by_scheme["two-step"] or MAX_PARTITIONS + 1
+        total += 1
+        if two_step_needed <= random_needed:
+            better_or_equal += 1
+    assert better_or_equal >= total - 1

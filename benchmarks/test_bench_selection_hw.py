@@ -1,0 +1,41 @@
+"""Bench: Fig. 1 architecture — cost and equivalence of the cycle-accurate
+selection hardware model against the functional partitioners, at SOC chain
+length."""
+
+import numpy as np
+
+from repro.core.interval import IntervalPartitioner
+from repro.core.random_selection import RandomSelectionPartitioner
+from repro.core.selection_hw import SelectionHardware
+
+CHAIN_LENGTH = 2048
+NUM_GROUPS = 32
+
+
+def run_equivalence(mode):
+    hw = SelectionHardware(CHAIN_LENGTH, NUM_GROUPS, mode=mode, seed=None)
+    if mode == "random":
+        fn = RandomSelectionPartitioner(CHAIN_LENGTH, NUM_GROUPS, seed=hw.ivr.value)
+    else:
+        fn = IntervalPartitioner(CHAIN_LENGTH, NUM_GROUPS)
+    mismatches = 0
+    for _ in range(2):
+        hw_part = hw.partition_from_masks(hw.run_partition())
+        fn_part = fn.next_partition()
+        if not np.array_equal(hw_part.group_of, fn_part.group_of):
+            mismatches += 1
+    return mismatches
+
+
+def test_selection_hw_random(benchmark):
+    mismatches = benchmark.pedantic(
+        run_equivalence, args=("random",), rounds=1, iterations=1
+    )
+    assert mismatches == 0
+
+
+def test_selection_hw_interval(benchmark):
+    mismatches = benchmark.pedantic(
+        run_equivalence, args=("interval",), rounds=1, iterations=1
+    )
+    assert mismatches == 0

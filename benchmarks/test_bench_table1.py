@@ -1,0 +1,24 @@
+"""Bench: Table 1 — DR vs number of partitions on s953 (200 patterns).
+
+Expected shape (paper): interval-based wins at few partitions, random
+selection wins at many, two-step is best throughout with DR roughly half
+of random selection's.
+"""
+
+from repro.experiments.config import default_config
+from repro.experiments.table1 import SCHEMES, run_table1
+
+from .conftest import run_once
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, run_table1, default_config())
+    print()
+    print(result.render())
+    for scheme in SCHEMES:
+        sweep = result.dr[scheme]
+        assert len(sweep) == 8
+        assert all(a >= b - 1e-9 for a, b in zip(sweep, sweep[1:]))
+    # Headline claim: with all 8 partitions the two-step method resolves at
+    # least as well as pure random selection.
+    assert result.dr["two-step"][-1] <= result.dr["random"][-1] + 1e-9

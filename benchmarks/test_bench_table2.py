@@ -1,0 +1,27 @@
+"""Bench: Table 2 — DR on the six largest ISCAS-89 circuits, random vs
+two-step, without and with superposition pruning (128 patterns, degree-16
+LFSR, equal partition counts).
+
+Expected shape (paper): two-step provides greater diagnostic accuracy than
+random selection for every circuit — by as much as ~80% on the larger ones
+— and pruning improves both further.
+"""
+
+from repro.experiments.config import default_config
+from repro.experiments.table2 import run_table2
+
+from .conftest import run_once
+
+
+def test_table2(benchmark):
+    result = run_once(benchmark, run_table2, default_config())
+    print()
+    print(result.render())
+    assert len(result.rows) == 6
+    wins = sum(1 for r in result.rows if r.dr_two_step <= r.dr_random + 1e-9)
+    # Two-step must win (or tie) on the clear majority of circuits; sampled
+    # fault sets make an occasional tie-at-zero row uninformative.
+    assert wins >= 5, f"two-step only won {wins}/6 circuits"
+    for row in result.rows:
+        assert row.dr_random_pruned <= row.dr_random + 1e-9
+        assert row.dr_two_step_pruned <= row.dr_two_step + 1e-9

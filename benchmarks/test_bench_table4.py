@@ -1,0 +1,23 @@
+"""Bench: Table 4 — SOC 2 (d695 variant, 8 balanced meta scan chains on an
+8-bit TAM), DR per failing core, 8 partitions x 8 groups.
+
+Expected shape (paper): the two-step method outperforms random selection
+for every failing core; pruning improves both.
+"""
+
+from repro.experiments.config import default_config
+from repro.experiments.soc_tables import run_table4
+
+from .conftest import run_once
+
+
+def test_table4(benchmark):
+    result = run_once(benchmark, run_table4, default_config())
+    print()
+    print(result.render())
+    assert len(result.rows) == 8
+    wins = sum(1 for r in result.rows if r.dr_two_step <= r.dr_random + 1e-9)
+    assert wins >= 6, f"two-step only won {wins}/8 cores"
+    for row in result.rows:
+        assert row.dr_random_pruned <= row.dr_random + 1e-9
+        assert row.dr_two_step_pruned <= row.dr_two_step + 1e-9

@@ -1,0 +1,14 @@
+from setuptools import setup
+
+# Metadata lives in pyproject.toml; this shim exists for offline
+# environments whose setuptools cannot complete a PEP 517 editable install
+# (missing `wheel`).  The console scripts are repeated here because the
+# legacy `setup.py develop` path does not read [project.scripts].
+setup(
+    entry_points={
+        "console_scripts": [
+            "repro-diagnose = repro.cli:diagnose_main",
+            "repro-experiment = repro.cli:experiment_main",
+        ]
+    }
+)

@@ -1,0 +1,57 @@
+"""repro — reproduction of "A Partition-Based Approach for Identifying
+Failing Scan Cells in Scan-BIST with Applications to System-on-Chip Fault
+Diagnosis" (Liu & Chakrabarty, DATE 2003).
+
+Public API layers:
+
+* :mod:`repro.circuit` — gate-level netlists, .bench I/O, benchmark library
+* :mod:`repro.sim` — bit-parallel logic simulation, stuck-at fault simulation
+* :mod:`repro.bist` — LFSR, MISR, scan chains, BIST sessions
+* :mod:`repro.core` — partitioning schemes, selection hardware, diagnosis
+* :mod:`repro.soc` — TestRail daisy-chain SOCs
+* :mod:`repro.experiments` — the paper's tables and figures
+"""
+
+from .bist import LFSR, MISR, LinearCompactor, ScanConfig
+from .circuit import Netlist, get_circuit, parse_bench
+from .core import (
+    DiagnosisResult,
+    IntervalPartitioner,
+    Partition,
+    RandomSelectionPartitioner,
+    TwoStepPartitioner,
+    apply_superposition,
+    diagnose,
+    diagnostic_resolution,
+)
+from .sim import CompiledCircuit, Fault, FaultResponse, FaultSimulator
+from .soc import EmbeddedCore, TestRail, build_d695_soc, build_stitched_soc
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledCircuit",
+    "DiagnosisResult",
+    "EmbeddedCore",
+    "Fault",
+    "FaultResponse",
+    "FaultSimulator",
+    "IntervalPartitioner",
+    "LFSR",
+    "LinearCompactor",
+    "MISR",
+    "Netlist",
+    "Partition",
+    "RandomSelectionPartitioner",
+    "ScanConfig",
+    "TestRail",
+    "TwoStepPartitioner",
+    "apply_superposition",
+    "build_d695_soc",
+    "build_stitched_soc",
+    "diagnose",
+    "diagnostic_resolution",
+    "get_circuit",
+    "parse_bench",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Deterministic test generation (PODEM) for random-pattern-resistant
+faults — the top-up path production BIST flows add to the paper's
+pseudo-random sessions."""
+
+from .podem import (
+    AtpgStats,
+    PodemEngine,
+    TestCube,
+    atpg_campaign,
+    cube_to_pattern,
+)
+
+__all__ = [
+    "AtpgStats",
+    "PodemEngine",
+    "TestCube",
+    "atpg_campaign",
+    "cube_to_pattern",
+]

@@ -1,0 +1,38 @@
+"""Scan-BIST substrate: LFSR/IVR, MISR and its linear error model, scan
+chain configuration, pattern source, and masked session execution."""
+
+from .golden import (
+    SessionSignatures,
+    faulty_captured,
+    good_captured_matrix,
+    response_stream,
+    run_tester_partition,
+    run_tester_session,
+)
+from .lfsr import IVR, LFSR, PRIMITIVE_TAPS
+from .misr import MISR, LinearCompactor, ParityCompactor
+from .patterns import PRPG, fast_pattern_matrices
+from .scan import CellLocation, ScanConfig
+from .session import SessionOutcome, collect_error_events, run_partition_sessions
+
+__all__ = [
+    "CellLocation",
+    "IVR",
+    "LFSR",
+    "LinearCompactor",
+    "MISR",
+    "PRIMITIVE_TAPS",
+    "PRPG",
+    "ParityCompactor",
+    "ScanConfig",
+    "SessionSignatures",
+    "faulty_captured",
+    "good_captured_matrix",
+    "response_stream",
+    "run_tester_partition",
+    "run_tester_session",
+    "SessionOutcome",
+    "collect_error_events",
+    "fast_pattern_matrices",
+    "run_partition_sessions",
+]

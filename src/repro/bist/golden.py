@@ -1,0 +1,146 @@
+"""Tester-view BIST flow: full response streams and golden signatures.
+
+The experiment harness computes *error signatures* directly from a fault's
+sparse error matrix (:class:`repro.bist.misr.LinearCompactor`) — that is an
+exact shortcut, not an approximation, but it never materializes what the
+tester actually sees.  This module implements the literal flow for
+validation and for small-circuit demonstrations:
+
+1. simulate the fault-free circuit, serialize every pattern's captured
+   response through the scan configuration into per-cycle compactor inputs,
+   mask by the session's selected cells, and run the real :class:`MISR`
+   to obtain the **golden signature** of each session;
+2. do the same on the faulty response stream to obtain the **observed
+   signature**;
+3. compare.
+
+``signatures_match(golden, observed)`` per session is then, by MISR
+linearity, exactly ``LinearCompactor.error_signature(...) == 0`` — the
+equivalence the integration tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..sim.bitops import get_bit
+from ..sim.faultsim import FaultResponse
+from ..sim.logicsim import SimResult
+from .misr import MISR
+from .scan import ScanConfig
+
+
+def response_stream(
+    captured: np.ndarray,
+    scan_config: ScanConfig,
+    num_patterns: int,
+    select_mask: Optional[np.ndarray] = None,
+) -> List[List[int]]:
+    """Serialize captured responses into per-cycle compactor input tuples.
+
+    ``captured`` has shape ``(num_cells, words)`` — row ``cell`` holds the
+    packed per-pattern values that cell captured.  The stream has
+    ``num_patterns * max_length`` cycles; on cycle ``p * L + t`` channel
+    ``w`` carries the value of chain ``w``'s position-``t`` cell under
+    pattern ``p`` (0 where the chain has ended or the cell is masked).
+
+    ``select_mask`` is a boolean array over shift positions (one session's
+    selection); ``None`` selects everything.
+    """
+    num_channels = scan_config.num_chains
+    chain_length = scan_config.max_length
+    stream: List[List[int]] = []
+    for pattern in range(num_patterns):
+        for position in range(chain_length):
+            inputs = [0] * num_channels
+            if select_mask is None or select_mask[position]:
+                for w, chain in enumerate(scan_config.chains):
+                    if position < len(chain):
+                        inputs[w] = get_bit(captured[chain[position]], pattern)
+            stream.append(inputs)
+    return stream
+
+
+def faulty_captured(
+    good_captured: np.ndarray, response: FaultResponse
+) -> np.ndarray:
+    """The faulty circuit's captured-response matrix: good values with the
+    fault's error bits flipped."""
+    faulty = good_captured.copy()
+    for cell, err in response.cell_errors.items():
+        faulty[cell] ^= err
+    return faulty
+
+
+@dataclass
+class SessionSignatures:
+    """Golden and observed signature of one masked session."""
+
+    golden: int
+    observed: int
+
+    @property
+    def mismatch(self) -> bool:
+        return self.golden != self.observed
+
+
+def run_tester_session(
+    good_captured: np.ndarray,
+    response: FaultResponse,
+    scan_config: ScanConfig,
+    select_mask: np.ndarray,
+    misr_width: int = 16,
+    init: int = 0,
+) -> SessionSignatures:
+    """One BIST session through the real MISR: golden vs observed.
+
+    This is O(patterns × chain length) per session — the price of
+    literalism; the experiment harness uses the linear shortcut instead.
+    """
+    misr = MISR(misr_width, scan_config.num_chains)
+    golden = misr.compact(
+        response_stream(good_captured, scan_config, response.num_patterns,
+                        select_mask),
+        init=init,
+    )
+    observed = misr.compact(
+        response_stream(
+            faulty_captured(good_captured, response),
+            scan_config,
+            response.num_patterns,
+            select_mask,
+        ),
+        init=init,
+    )
+    return SessionSignatures(golden=golden, observed=observed)
+
+
+def run_tester_partition(
+    good_captured: np.ndarray,
+    response: FaultResponse,
+    scan_config: ScanConfig,
+    group_of: np.ndarray,
+    num_groups: int,
+    misr_width: int = 16,
+    init: int = 0,
+) -> List[SessionSignatures]:
+    """All sessions of one partition through the real MISR."""
+    sessions = []
+    for group in range(num_groups):
+        mask = np.asarray(group_of) == group
+        sessions.append(
+            run_tester_session(
+                good_captured, response, scan_config, mask, misr_width, init
+            )
+        )
+    return sessions
+
+
+def good_captured_matrix(good: SimResult) -> np.ndarray:
+    """The fault-free captured-response matrix, rows indexed by scan-cell
+    position (matches ``FaultResponse.cell_errors`` keys for a single-core
+    circuit)."""
+    return good.captured.copy()

@@ -1,0 +1,124 @@
+"""Scan-chain configuration: mapping scan cells to (chain, shift position).
+
+Positions are numbered in *unload order*, matching the paper's examples
+("scan cells 1 to 5 are scanned out" form the first interval): the cell at
+position 0 sits next to the scan output and its response enters the
+compactor on shift cycle 0 of the pattern's unload.  With ``W`` parallel
+chains, shift cycle ``t`` presents the cell at position ``t`` of every
+chain (start-aligned; shorter chains finish early and contribute nothing on
+the remaining cycles).
+
+The partitioning schemes of the paper select cells by *shift position*
+(one shared selection-logic instance serves all chains), so a group is a
+set of positions and covers every chain's cell at those positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CellLocation:
+    chain: int
+    position: int
+
+
+class ScanConfig:
+    """A set of scan chains over global cell ids ``0 .. num_cells-1``.
+
+    ``chains[w]`` lists the global cell ids of chain ``w`` in unload order
+    (first element exits first).  Chains may have different lengths; unload
+    is start-aligned, so every chain's position ``p`` cell exits on cycle
+    ``p`` and shorter chains simply finish early.
+    """
+
+    def __init__(self, chains: Sequence[Sequence[int]]):
+        if not chains:
+            raise ValueError("at least one chain required")
+        self.chains: List[List[int]] = [list(c) for c in chains]
+        self._location: Dict[int, CellLocation] = {}
+        for w, chain in enumerate(self.chains):
+            for pos, cell in enumerate(chain):
+                if cell in self._location:
+                    raise ValueError(f"cell {cell} appears in more than one chain")
+                self._location[cell] = CellLocation(w, pos)
+        self.num_cells = len(self._location)
+        if sorted(self._location) != list(range(self.num_cells)):
+            raise ValueError("cell ids must be exactly 0..num_cells-1")
+        self.max_length = max(len(c) for c in self.chains)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def single_chain(cls, num_cells: int) -> "ScanConfig":
+        return cls([list(range(num_cells))])
+
+    @classmethod
+    def balanced(cls, num_cells: int, num_chains: int) -> "ScanConfig":
+        """Split cells into ``num_chains`` nearly-equal chains, preserving
+        cell order (cells 0..k on chain 0, then chain 1, ...)."""
+        if num_chains < 1:
+            raise ValueError("num_chains must be positive")
+        base = num_cells // num_chains
+        extra = num_cells % num_chains
+        chains = []
+        start = 0
+        for w in range(num_chains):
+            length = base + (1 if w < extra else 0)
+            chains.append(list(range(start, start + length)))
+            start += length
+        return cls(chains)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def num_chains(self) -> int:
+        return len(self.chains)
+
+    def location(self, cell: int) -> CellLocation:
+        return self._location[cell]
+
+    def cells_at_position(self, position: int) -> List[int]:
+        """All cells (across chains) at a given shift position."""
+        return [
+            chain[position] for chain in self.chains if position < len(chain)
+        ]
+
+    def unload_cycle(self, cell: int) -> int:
+        """Shift cycle (within one pattern's unload) at which ``cell``'s
+        response enters the compactor: its position, since positions are
+        numbered in unload order and unload is start-aligned."""
+        return self._location[cell].position
+
+    def global_cycle(self, cell: int, pattern: int) -> int:
+        """Global compactor cycle of ``cell``'s response under ``pattern``."""
+        return pattern * self.max_length + self.unload_cycle(cell)
+
+    def total_cycles(self, num_patterns: int) -> int:
+        return num_patterns * self.max_length
+
+    def channel(self, cell: int) -> int:
+        """Compactor input channel (the chain index)."""
+        return self._location[cell].chain
+
+    def presence_mask(self) -> "np.ndarray":
+        """Boolean array ``[chain, position]``: True where a cell exists
+        (ragged chains leave trailing positions empty)."""
+        import numpy as np
+
+        mask = np.zeros((self.num_chains, self.max_length), dtype=bool)
+        for w, chain in enumerate(self.chains):
+            mask[w, : len(chain)] = True
+        return mask
+
+    def cell_id_grid(self) -> "np.ndarray":
+        """Integer array ``[chain, position]`` of global cell ids (-1 where
+        no cell exists)."""
+        import numpy as np
+
+        grid = np.full((self.num_chains, self.max_length), -1, dtype=np.int64)
+        for w, chain in enumerate(self.chains):
+            grid[w, : len(chain)] = chain
+        return grid

@@ -1,0 +1,157 @@
+"""BIST session execution: per-group signature collection under masking.
+
+One *partition* of the scan positions into ``b`` groups costs ``b`` BIST
+sessions.  Session ``g`` replays the full pattern set with the selection
+hardware passing only the cells of group ``g`` to the compactor; the
+signature is compared against the fault-free signature for that group.  By
+MISR linearity the comparison is equivalent to checking whether the *error
+signature* of the masked error stream is zero, which is what this module
+computes (see :class:`repro.bist.misr.LinearCompactor`).
+
+With ``W`` parallel scan chains the compactor keeps one signature per
+response channel (per chain) — hardware-wise, ``W`` narrow signature
+registers or one wide MISR read out in per-channel slices.  A session's
+outcome is therefore a ``(group, channel)`` signature matrix; a channel
+whose signature mismatches localizes the error to that chain's cells of
+the group.  (Diagnosing with a single combined signature per session is
+available as an ablation; it cannot separate cells that share a shift
+position across chains.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.bitops import WORD_BITS
+from ..sim.faultsim import FaultResponse
+from .misr import LinearCompactor
+from .scan import ScanConfig
+
+
+@dataclass
+class SessionOutcome:
+    """Signatures of all sessions of one partition.
+
+    ``signatures[g][w]`` is the error signature of group ``g`` on response
+    channel (chain) ``w`` — ``0`` means the observed signature matched the
+    fault-free one.  With exact (alias-free) mode the value is 1 iff any
+    error event fell in that group on that chain.
+    """
+
+    signatures: List[List[int]]
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.signatures)
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.signatures[0]) if self.signatures else 0
+
+    @property
+    def failing_groups(self) -> List[int]:
+        """Groups with a mismatch on at least one channel."""
+        return [
+            g
+            for g, per_channel in enumerate(self.signatures)
+            if any(sig != 0 for sig in per_channel)
+        ]
+
+    @property
+    def failing_pairs(self) -> List[Tuple[int, int]]:
+        """All failing ``(group, channel)`` pairs."""
+        return [
+            (g, w)
+            for g, per_channel in enumerate(self.signatures)
+            for w, sig in enumerate(per_channel)
+            if sig != 0
+        ]
+
+    def failing_matrix(self, num_channels: int) -> np.ndarray:
+        """Boolean array ``[group, channel]`` of mismatching signatures."""
+        mat = np.zeros((self.num_groups, num_channels), dtype=bool)
+        for g, per_channel in enumerate(self.signatures):
+            for w, sig in enumerate(per_channel):
+                if sig != 0:
+                    mat[g, w] = True
+        return mat
+
+    def combined(self, exact: bool = False) -> "SessionOutcome":
+        """Collapse channels into one signature per group (single shared
+        MISR readout — the coarser observation model, kept for the
+        channel-resolution ablation).
+
+        With real signatures the combined value is the XOR of the channel
+        signatures (MISR linearity; contributions from different chains can
+        alias against each other, faithfully).  ``exact=True`` treats the
+        per-channel values as pass/fail flags and ORs them instead.
+        """
+        if exact:
+            collapsed = [
+                [1 if any(sig != 0 for sig in per_channel) else 0]
+                for per_channel in self.signatures
+            ]
+        else:
+            collapsed = [[_xor_all(per_channel)] for per_channel in self.signatures]
+        return SessionOutcome(collapsed)
+
+
+def _xor_all(values: Sequence[int]) -> int:
+    out = 0
+    for v in values:
+        out ^= v
+    return out
+
+
+def collect_error_events(
+    response: FaultResponse, scan_config: ScanConfig
+) -> List[tuple]:
+    """Flatten a fault's error matrix into compactor events.
+
+    Returns ``(position, channel, global_cycle)`` triples, one per erroneous
+    (cell, pattern) pair.
+    """
+    events = []
+    for cell, vec in response.cell_errors.items():
+        loc = scan_config.location(cell)
+        for word_idx in range(len(vec)):
+            word = int(vec[word_idx])
+            while word:
+                low = word & -word
+                bit = low.bit_length() - 1
+                pattern = word_idx * WORD_BITS + bit
+                events.append(
+                    (loc.position, loc.chain, scan_config.global_cycle(cell, pattern))
+                )
+                word ^= low
+    return events
+
+
+def run_partition_sessions(
+    events: Sequence[tuple],
+    group_of: np.ndarray,
+    num_groups: int,
+    total_cycles: int,
+    compactor: Optional[LinearCompactor],
+    num_channels: int = 1,
+) -> SessionOutcome:
+    """Execute the ``num_groups`` sessions of one partition.
+
+    ``events`` comes from :func:`collect_error_events`; ``group_of`` maps a
+    shift position to its group index.  ``compactor=None`` selects the exact
+    (alias-free) comparison used by the property tests and ablations.
+    """
+    signatures = [[0] * num_channels for _ in range(num_groups)]
+    if compactor is None:
+        for position, channel, _cycle in events:
+            signatures[int(group_of[position])][channel] = 1
+    else:
+        for position, channel, cycle in events:
+            group = int(group_of[position])
+            signatures[group][channel] ^= compactor.impulse_response(
+                channel, total_cycles - 1 - cycle
+            )
+    return SessionOutcome(signatures)

@@ -1,0 +1,99 @@
+"""Reader/writer for the ISCAS-89 ``.bench`` netlist format.
+
+The format is line-oriented::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = DFF(G14)
+    G14 = NAND(G0, G10)
+
+Gate names are case-insensitive; net names are case-sensitive.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Union
+
+from .netlist import GateType, Netlist, NetlistError
+
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^\s()]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(r"^([^\s=]+)\s*=\s*([A-Za-z]+)\s*\(\s*(.*?)\s*\)$")
+
+_TYPE_ALIASES = {
+    "BUFF": GateType.BUF,
+    "BUF": GateType.BUF,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "DFF": GateType.DFF,
+}
+
+
+class BenchFormatError(NetlistError):
+    """Raised on malformed ``.bench`` input."""
+
+
+def parse_bench(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` source text into a validated :class:`Netlist`."""
+    netlist = Netlist(name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            kind, net = io_match.group(1).upper(), io_match.group(2)
+            if kind == "INPUT":
+                netlist.add_input(net)
+            else:
+                netlist.add_output(net)
+            continue
+        gate_match = _GATE_RE.match(line)
+        if gate_match:
+            output, type_name, arg_text = gate_match.groups()
+            gtype = _TYPE_ALIASES.get(type_name.upper())
+            if gtype is None:
+                raise BenchFormatError(
+                    f"line {lineno}: unknown gate type {type_name!r}"
+                )
+            fanins = [a.strip() for a in arg_text.split(",") if a.strip()]
+            if not fanins:
+                raise BenchFormatError(f"line {lineno}: gate with no fanins")
+            netlist.add_gate(output, gtype, fanins)
+            continue
+        raise BenchFormatError(f"line {lineno}: cannot parse {raw.strip()!r}")
+    netlist.validate()
+    return netlist
+
+
+def load_bench(path: Union[str, Path]) -> Netlist:
+    """Load a ``.bench`` file from disk."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(netlist: Netlist) -> str:
+    """Serialize a netlist back to ``.bench`` text (round-trips with
+    :func:`parse_bench` up to comments and whitespace)."""
+    lines = [f"# {netlist.name}"]
+    lines.extend(f"INPUT({net})" for net in netlist.inputs)
+    lines.extend(f"OUTPUT({net})" for net in netlist.outputs)
+    type_names = {GateType.BUF: "BUFF", GateType.NOT: "NOT"}
+    for gate in netlist.gates.values():
+        if gate.gtype is GateType.INPUT:
+            continue
+        tname = type_names.get(gate.gtype, gate.gtype.value)
+        lines.append(f"{gate.output} = {tname}({', '.join(gate.fanins)})")
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(netlist: Netlist, path: Union[str, Path]) -> None:
+    Path(path).write_text(write_bench(netlist))

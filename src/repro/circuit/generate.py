@@ -1,0 +1,362 @@
+"""Deterministic generator of ISCAS-89-like full-scan sequential circuits.
+
+The real ISCAS-89 netlists are not redistributable inside this offline
+environment, so the experiments run on synthetic stand-ins with the
+*published* PI/PO/DFF/gate counts of each benchmark (see
+:mod:`repro.circuit.library`).  The generator is built to preserve the one
+structural property every experiment in the paper depends on: **fault cones
+reach a localized cluster of scan cells**.
+
+Mechanism
+---------
+Every signal is assigned a *position* on a 1-D locality axis in ``[0, 1)``
+(an abstraction of placement).  Flip-flop ``i`` of ``n`` sits at position
+``i / n`` and the default scan order is position order — exactly the
+"scan chain ordering follows the circuit structure" dependence the paper
+describes in Section 3.
+
+Combinational gates are arranged in a bounded number of *layers* (realistic
+logic depth) and draw their fanins from earlier layers at positions near
+their own (Gaussian-jittered sampling), so the fanout cone of any net
+widens like a short random walk on the axis — it reaches a *cluster* of
+nearby scan cells, not a uniform scatter.
+
+Observability is enforced the way synthesized logic behaves: fanin
+selection prefers signals that nothing consumes yet, and flip-flop D inputs
+/ primary outputs drain the remaining unconsumed gates, so almost every
+gate lies on a path to a scan cell or output and a stuck-at fault anywhere
+has a sensitizable route to the scan chain.
+
+Everything is seeded: ``generate_circuit(profile, seed)`` is a pure
+function of its arguments.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .netlist import GateType, Netlist
+
+#: Relative weights of gate types emitted by the generator, approximating
+#: the mix found in the ISCAS-89 suite (NAND/NOR-heavy, few XORs).
+_GATE_MIX: Sequence[Tuple[GateType, float]] = (
+    (GateType.NAND, 0.20),
+    (GateType.AND, 0.14),
+    (GateType.NOR, 0.10),
+    (GateType.OR, 0.10),
+    (GateType.NOT, 0.16),
+    (GateType.BUF, 0.04),
+    (GateType.XOR, 0.16),
+    (GateType.XNOR, 0.10),
+)
+
+#: Fanin-count distribution for multi-input gates.  Two-input dominated:
+#: together with the XOR share this keeps error propagation near-critical,
+#: which is what gives real circuits their heavy-tailed failing-cell counts.
+_FANIN_COUNTS = (2, 3, 4)
+_FANIN_WEIGHTS = (0.62, 0.26, 0.12)
+
+#: Probability that a fanin slot is filled from the not-yet-consumed pool.
+_UNUSED_FIRST_PROB = 0.45
+
+#: Probability that a fanin comes from the immediately preceding layer
+#: (otherwise a random one of the few layers before it, modelling local
+#: reconvergence; layer 0 — the state/input layer — is only reached from
+#: the first gate layers, as in synthesized logic).
+_PREV_LAYER_PROB = 0.5
+
+#: How far back (in layers) the non-previous-layer fanins may reach.
+_LAYER_REACH = 4
+
+#: Fraction of gates that become regional *hubs* — stand-ins for the
+#: high-fanout control/enable/select nets of real circuits.  A stuck-at
+#: fault on a hub corrupts many scan cells at once, producing the heavy
+#: tail of failing-cell counts the paper observes with real fault
+#: injection ("some faults may cause a large number of failing scan
+#: cells", Section 4).
+_HUB_FRACTION = 0.015
+
+#: Probability that a gate replaces one ordinary fanin with the nearest
+#: earlier-layer hub.
+_HUB_PICK_PROB = 0.28
+
+
+@dataclass(frozen=True)
+class CircuitProfile:
+    """Shape of a benchmark circuit: the published ISCAS-89 counts."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_flip_flops: int
+    num_gates: int
+    #: Width (std-dev on the unit locality axis) of fanin selection.  Smaller
+    #: values give tighter fault-cone clusters.
+    locality: float = 0.03
+    #: Combinational depth (number of gate layers).
+    depth: int = 12
+
+    def scaled(self, factor: float) -> "CircuitProfile":
+        """A reduced-size variant (used by fast tests), preserving ratios."""
+        return CircuitProfile(
+            name=self.name,
+            num_inputs=max(2, round(self.num_inputs * factor)),
+            num_outputs=max(1, round(self.num_outputs * factor)),
+            num_flip_flops=max(3, round(self.num_flip_flops * factor)),
+            num_gates=max(8, round(self.num_gates * factor)),
+            locality=self.locality,
+            depth=max(3, min(self.depth, round(self.num_gates * factor) // 3)),
+        )
+
+
+class _LocalityPool:
+    """Signals keyed by locality position, with nearest-neighbour lookup and
+    removal (sorted parallel lists)."""
+
+    def __init__(self) -> None:
+        self._positions: List[float] = []
+        self._names: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def add(self, name: str, position: float) -> None:
+        idx = bisect_left(self._positions, position)
+        self._positions.insert(idx, position)
+        self._names.insert(idx, name)
+
+    def _nearest_index(self, position: float) -> int:
+        idx = bisect_left(self._positions, position)
+        best = None
+        for cand in (idx - 1, idx):
+            if 0 <= cand < len(self._positions):
+                if best is None or abs(self._positions[cand] - position) < abs(
+                    self._positions[best] - position
+                ):
+                    best = cand
+        assert best is not None, "pool must not be empty"
+        return best
+
+    def nearest(self, position: float) -> Tuple[str, float]:
+        idx = self._nearest_index(position)
+        return self._names[idx], self._positions[idx]
+
+    def pop_nearest(self, position: float) -> Tuple[str, float]:
+        idx = self._nearest_index(position)
+        return self._names.pop(idx), self._positions.pop(idx)
+
+    def random_in_window(
+        self, center: float, window: float, rng: np.random.Generator
+    ) -> Optional[str]:
+        """A uniformly random signal with position in ``center ± window``
+        (``None`` if the window is empty).  Uniform-in-window selection
+        spreads fanout across all local signals, giving the heavy-ish
+        fanout distribution real netlists have — nearest-only selection
+        would concentrate fanout on a handful of signals."""
+        lo = bisect_left(self._positions, center - window)
+        hi = bisect_left(self._positions, center + window)
+        if hi <= lo:
+            return None
+        return self._names[int(rng.integers(lo, hi))]
+
+
+def _clamp(value: float) -> float:
+    return min(max(value, 0.0), 0.999999)
+
+
+class _LayeredSelector:
+    """Per-layer signal pools with locality-aware, unused-first selection.
+
+    Layer 0 holds the combinational sources (primary inputs and flip-flop
+    outputs); layers 1..depth hold gate outputs.
+    """
+
+    def __init__(self, depth: int, locality: float, rng: np.random.Generator):
+        self.depth = depth
+        self.locality = locality
+        self.rng = rng
+        self.all_by_layer = [_LocalityPool() for _ in range(depth + 1)]
+        self.unused_by_layer = [_LocalityPool() for _ in range(depth + 1)]
+        self.hubs_by_layer = [_LocalityPool() for _ in range(depth + 1)]
+
+    def add_hub(self, name: str, position: float, layer: int) -> None:
+        self.hubs_by_layer[layer].add(name, position)
+
+    def nearest_hub(self, anchor: float, gate_layer: int, window: float) -> Optional[str]:
+        """Nearest hub from any earlier layer within ``window``."""
+        best_name = None
+        best_dist = window
+        for layer in range(gate_layer):
+            pool = self.hubs_by_layer[layer]
+            if len(pool) == 0:
+                continue
+            name, pos = pool.nearest(anchor)
+            dist = abs(pos - anchor)
+            if dist <= best_dist:
+                best_name, best_dist = name, dist
+        return best_name
+
+    def add(self, name: str, position: float, layer: int) -> None:
+        self.all_by_layer[layer].add(name, position)
+        self.unused_by_layer[layer].add(name, position)
+
+    def _choose_source_layer(self, gate_layer: int) -> int:
+        if gate_layer == 1 or self.rng.random() < _PREV_LAYER_PROB:
+            return gate_layer - 1
+        low = max(0, gate_layer - 1 - _LAYER_REACH)
+        return int(self.rng.integers(low, gate_layer - 1))
+
+    def pick(self, anchor: float, count: int, gate_layer: int) -> List[str]:
+        """``count`` distinct fanins near ``anchor`` from layers before
+        ``gate_layer``."""
+        chosen: List[str] = []
+        attempts = 0
+        while len(chosen) < count and attempts < 40 * count:
+            attempts += 1
+            layer = self._choose_source_layer(gate_layer)
+            pool = self.all_by_layer[layer]
+            if len(pool) == 0:
+                layer = 0
+                pool = self.all_by_layer[0]
+            target = _clamp(anchor + float(self.rng.normal(0.0, self.locality)))
+            unused = self.unused_by_layer[layer]
+            name: Optional[str] = None
+            if len(unused) and self.rng.random() < _UNUSED_FIRST_PROB:
+                cand, pos = unused.pop_nearest(target)
+                if abs(pos - anchor) <= 4.0 * self.locality:
+                    name = cand
+                else:
+                    unused.add(cand, pos)  # too far; keep it for a local consumer
+            if name is None:
+                name = pool.random_in_window(anchor, 2.0 * self.locality, self.rng)
+            if name is None:
+                name, _pos = pool.nearest(target)
+            if name not in chosen:
+                chosen.append(name)
+        # Degenerate small pools: widen the search on layer 0.
+        widen = self.locality
+        while len(chosen) < count:
+            widen *= 2.0
+            target = _clamp(anchor + float(self.rng.normal(0.0, widen)))
+            name, _pos = self.all_by_layer[0].nearest(target)
+            if name not in chosen:
+                chosen.append(name)
+            if widen > 8.0:
+                break  # pool smaller than the fanin count; accept fewer
+        return chosen
+
+    def pop_unused_near(
+        self, position: float, window: float, min_layer: int = 1
+    ) -> Optional[str]:
+        """Remove and return an unconsumed gate output within ``window`` of
+        ``position``, searching deep layers first."""
+        for layer in range(self.depth, min_layer - 1, -1):
+            unused = self.unused_by_layer[layer]
+            if len(unused) == 0:
+                continue
+            name, pos = unused.pop_nearest(position)
+            if abs(pos - position) <= window:
+                return name
+            unused.add(name, pos)
+        return None
+
+
+def generate_circuit(
+    profile: CircuitProfile,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Generate a full-scan sequential circuit matching ``profile``.
+
+    The result validates, is loop-free in its combinational core, and has a
+    default scan order (DFF insertion order) that follows the locality axis.
+    """
+    rng = np.random.default_rng(seed ^ _stable_hash(profile.name))
+    netlist = Netlist(name or profile.name)
+    depth = max(1, min(profile.depth, profile.num_gates))
+    selector = _LayeredSelector(depth, profile.locality, rng)
+
+    n_ff = profile.num_flip_flops
+    # Primary inputs, spread over the axis (layer 0 sources).
+    for i, pos in enumerate(rng.random(profile.num_inputs)):
+        net = f"PI{i}"
+        netlist.add_input(net)
+        selector.add(net, float(pos), layer=0)
+
+    # Flip-flop outputs enter layer 0 now; their D inputs are wired after
+    # the combinational logic exists.  Position i/n defines scan order.
+    ff_positions = [(i + 0.5) / n_ff for i in range(n_ff)]
+    ff_nets = [f"FF{i}" for i in range(n_ff)]
+    for net, pos in zip(ff_nets, ff_positions):
+        selector.add(net, pos, layer=0)
+
+    # Combinational gates, layer by layer (forward edges only).
+    gate_types = [t for t, _w in _GATE_MIX]
+    gate_weights = np.array([w for _t, w in _GATE_MIX])
+    gate_weights = gate_weights / gate_weights.sum()
+    type_draws = rng.choice(len(gate_types), size=profile.num_gates, p=gate_weights)
+    fanin_draws = rng.choice(
+        _FANIN_COUNTS, size=profile.num_gates, p=np.array(_FANIN_WEIGHTS)
+    )
+    anchors = rng.random(profile.num_gates)
+    gate_positions: Dict[str, float] = {}
+    for g in range(profile.num_gates):
+        layer = 1 + (g * depth) // profile.num_gates
+        gtype = gate_types[int(type_draws[g])]
+        anchor = float(anchors[g])
+        count = 1 if gtype in (GateType.NOT, GateType.BUF) else int(fanin_draws[g])
+        fanins = selector.pick(anchor, count, layer)
+        if count >= 2 and rng.random() < _HUB_PICK_PROB:
+            hub = selector.nearest_hub(anchor, layer, 3.0 * profile.locality)
+            if hub is not None and hub not in fanins:
+                fanins[-1] = hub
+        net = f"G{g}"
+        netlist.add_gate(net, gtype, fanins)
+        gate_positions[net] = anchor
+        selector.add(net, anchor, layer)
+        if rng.random() < _HUB_FRACTION:
+            selector.add_hub(net, anchor, layer)
+
+    # All gate outputs, for nearest-fallback sinks.
+    gate_pool = _LocalityPool()
+    for net, pos in gate_positions.items():
+        gate_pool.add(net, pos)
+
+    # Flip-flop D inputs: prefer a still-unconsumed gate near the cell's
+    # position (deep local logic), falling back to the nearest gate.
+    for ff_net, pos in zip(ff_nets, ff_positions):
+        jitter = float(rng.normal(0.0, profile.locality / 2.0))
+        target = _clamp(pos + jitter)
+        d_net = selector.pop_unused_near(target, 3.0 * profile.locality)
+        if d_net is None:
+            d_net, _p = gate_pool.nearest(target)
+        netlist.add_dff(ff_net, d_net)
+
+    # Primary outputs drain remaining unconsumed gates spread over the axis.
+    seen_po: set = set()
+    for i, pos in enumerate(rng.random(profile.num_outputs)):
+        net = selector.pop_unused_near(float(pos), 0.5)
+        if net is None:
+            net, _p = gate_pool.nearest(float(pos))
+        if net in seen_po:
+            buf = f"PO{i}_BUF"
+            netlist.add_gate(buf, GateType.BUF, [net])
+            net = buf
+        seen_po.add(net)
+        netlist.add_output(net)
+
+    netlist.validate()
+    return netlist
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic 63-bit hash of a string (``hash()`` is salted)."""
+    value = 1469598103934665603  # FNV-1a
+    for byte in text.encode():
+        value ^= byte
+        value = (value * 1099511628211) & 0x7FFFFFFFFFFFFFFF
+    return value

@@ -1,0 +1,140 @@
+"""Structural statistics of a netlist.
+
+The clustering argument of the paper rests on circuit structure (fault
+cones, fanout, locality); this module quantifies that structure so the
+synthetic stand-ins can be compared against the published ISCAS-89
+characteristics and against each other:
+
+* gate-type mix and fanin histogram,
+* fanout distribution (mean / max / zero-fanout fraction),
+* logic-depth (level) histogram,
+* fanout-cone sizes and scan-observability for a sampled set of nets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .levelize import fanout_cone, levelize, observing_cells
+from .netlist import GateType, Netlist
+
+
+@dataclass
+class StructuralStats:
+    """Aggregated structure of one netlist."""
+
+    name: str
+    counts: Dict[str, int]
+    gate_mix: Dict[str, int]
+    fanin_histogram: Dict[int, int]
+    mean_fanout: float
+    max_fanout: int
+    zero_fanout_fraction: float
+    max_level: int
+    mean_level: float
+    #: sampled-cone statistics (None when sampling was skipped)
+    mean_cone_size: Optional[float] = None
+    mean_observing_cells: Optional[float] = None
+    unobservable_fraction: Optional[float] = None
+
+    def render(self) -> str:
+        lines = [
+            f"structure of {self.name}",
+            f"  PI={self.counts['inputs']} PO={self.counts['outputs']} "
+            f"FF={self.counts['flip_flops']} gates={self.counts['gates']}",
+            "  gate mix: "
+            + " ".join(f"{t}:{n}" for t, n in sorted(self.gate_mix.items())),
+            "  fanin histogram: "
+            + " ".join(f"{k}:{v}" for k, v in sorted(self.fanin_histogram.items())),
+            f"  fanout: mean {self.mean_fanout:.2f}, max {self.max_fanout}, "
+            f"zero-fanout {self.zero_fanout_fraction:.2%}",
+            f"  depth: max {self.max_level}, mean {self.mean_level:.2f}",
+        ]
+        if self.mean_cone_size is not None:
+            lines.append(
+                f"  sampled cones: mean size {self.mean_cone_size:.1f} gates, "
+                f"mean observing cells {self.mean_observing_cells:.1f}, "
+                f"unobservable {self.unobservable_fraction:.2%}"
+            )
+        return "\n".join(lines)
+
+
+def structural_stats(
+    netlist: Netlist,
+    sample_cones: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> StructuralStats:
+    """Compute structure metrics; ``sample_cones > 0`` additionally samples
+    that many combinational nets for cone/observability statistics."""
+    gate_mix: Counter = Counter()
+    fanin_hist: Counter = Counter()
+    for gate in netlist.gates.values():
+        if gate.gtype.is_combinational:
+            gate_mix[gate.gtype.value] += 1
+            fanin_hist[len(gate.fanins)] += 1
+
+    fanout = netlist.fanout_map()
+    comb_nets = [
+        net for net, g in netlist.gates.items() if g.gtype.is_combinational
+    ]
+    fanouts = [len(fanout.get(net, ())) for net in comb_nets]
+    levels = levelize(netlist)
+    comb_levels = [levels[net] for net in comb_nets]
+
+    stats = StructuralStats(
+        name=netlist.name,
+        counts=netlist.stats(),
+        gate_mix=dict(gate_mix),
+        fanin_histogram=dict(fanin_hist),
+        mean_fanout=float(np.mean(fanouts)) if fanouts else 0.0,
+        max_fanout=max(fanouts, default=0),
+        zero_fanout_fraction=(
+            float(np.mean([f == 0 for f in fanouts])) if fanouts else 0.0
+        ),
+        max_level=max(comb_levels, default=0),
+        mean_level=float(np.mean(comb_levels)) if comb_levels else 0.0,
+    )
+
+    if sample_cones > 0 and comb_nets:
+        rng = rng or np.random.default_rng(0)
+        picks = rng.choice(
+            len(comb_nets), size=min(sample_cones, len(comb_nets)), replace=False
+        )
+        scan_order = [g.output for g in netlist.flip_flops]
+        cone_sizes = []
+        observing = []
+        for idx in picks:
+            net = comb_nets[int(idx)]
+            cone_sizes.append(len(fanout_cone(netlist, net)))
+            observing.append(len(observing_cells(netlist, net, scan_order)))
+        stats.mean_cone_size = float(np.mean(cone_sizes))
+        stats.mean_observing_cells = float(np.mean(observing))
+        stats.unobservable_fraction = float(np.mean([o == 0 for o in observing]))
+    return stats
+
+
+def compare_stats(stats: List[StructuralStats]) -> str:
+    """A compact comparison table across circuits."""
+    from ..experiments.reporting import render_table
+
+    rows = []
+    for s in stats:
+        rows.append(
+            [
+                s.name,
+                s.counts["gates"],
+                s.counts["flip_flops"],
+                s.mean_fanout,
+                s.max_level,
+                s.mean_observing_cells,
+            ]
+        )
+    return render_table(
+        "structural comparison",
+        ["circuit", "gates", "FFs", "mean fanout", "depth", "obs cells"],
+        rows,
+    )

@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+Two entry points (also runnable as ``python -m repro.cli``):
+
+* ``repro-diagnose`` — inject sampled stuck-at faults into a benchmark
+  circuit and report candidate failing scan cells / DR for a scheme.
+* ``repro-experiment`` — regenerate one of the paper's tables or figures
+  (or an ablation / extension) by name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .bist.misr import LinearCompactor
+from .bist.scan import ScanConfig
+from .circuit.library import PROFILES, get_circuit
+from .core.chainmap import chain_map, legend
+from .core.diagnosis import diagnose, diagnostic_resolution
+from .core.superposition import apply_superposition
+from .core.two_step import make_partitioner
+from .experiments import (
+    default_config,
+    run_aliasing_ablation,
+    run_binary_search_ablation,
+    run_clustering,
+    run_deterministic_ablation,
+    run_figure3,
+    run_figure5,
+    run_group_count_ablation,
+    run_interval_count_ablation,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+from .experiments.atpg_topup import run_atpg_topup
+from .experiments.error_model import run_error_model_ablation
+from .experiments.patterns_ablation import run_pattern_count_ablation
+from .experiments.extensions import (
+    run_diagnosis_time,
+    run_multi_core,
+    run_scan_order_ablation,
+    run_schedule_diagnosis,
+    run_vector_diagnosis,
+)
+from .soc.core_wrapper import EmbeddedCore
+
+EXPERIMENT_RUNNERS: Dict[str, Callable] = {
+    "table1": lambda cfg: run_table1(cfg),
+    "table2": lambda cfg: run_table2(cfg),
+    "table3": lambda cfg: run_table3(cfg),
+    "table4": lambda cfg: run_table4(cfg),
+    "figure3": lambda cfg: run_figure3(cfg),
+    "figure5": lambda cfg: run_figure5(cfg),
+    "clustering": lambda cfg: run_clustering(config=cfg),
+    "ablation-intervals": lambda cfg: run_interval_count_ablation(config=cfg),
+    "ablation-groups": lambda cfg: run_group_count_ablation(config=cfg),
+    "ablation-aliasing": lambda cfg: run_aliasing_ablation(config=cfg),
+    "ablation-deterministic": lambda cfg: run_deterministic_ablation(config=cfg),
+    "ablation-binary-search": lambda cfg: run_binary_search_ablation(config=cfg),
+    "extension-vectors": lambda cfg: run_vector_diagnosis(config=cfg),
+    "extension-scan-order": lambda cfg: run_scan_order_ablation(config=cfg),
+    "extension-multi-core": lambda cfg: run_multi_core(config=cfg),
+    "extension-time": lambda cfg: run_diagnosis_time(config=cfg),
+    "extension-schedule": lambda cfg: run_schedule_diagnosis(config=cfg),
+    "ablation-patterns": lambda cfg: run_pattern_count_ablation(config=cfg),
+    "extension-atpg": lambda cfg: run_atpg_topup(config=cfg),
+    "ablation-error-model": lambda cfg: run_error_model_ablation(config=cfg),
+}
+
+
+def diagnose_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-diagnose``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-diagnose",
+        description="Partition-based failing scan cell diagnosis on a "
+        "benchmark circuit.",
+    )
+    parser.add_argument("circuit", nargs="?", default="s953",
+                        help=f"benchmark name (s27, {', '.join(sorted(PROFILES))})")
+    parser.add_argument("--scheme", default="two-step",
+                        choices=["two-step", "random", "interval", "deterministic"])
+    parser.add_argument("--faults", type=int, default=20)
+    parser.add_argument("--patterns", type=int, default=128)
+    parser.add_argument("--partitions", type=int, default=6)
+    parser.add_argument("--groups", type=int, default=8)
+    parser.add_argument("--misr-width", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=2003)
+    parser.add_argument("--prune", action="store_true",
+                        help="apply superposition pruning")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print per-fault candidate sets")
+    parser.add_argument("--map", action="store_true", dest="show_map",
+                        help="draw a per-fault chain map of the outcome")
+    args = parser.parse_args(argv)
+
+    core = EmbeddedCore(get_circuit(args.circuit), num_patterns=args.patterns)
+    scan = ScanConfig.single_chain(core.num_cells)
+    partitions = make_partitioner(
+        args.scheme, core.num_cells, args.groups
+    ).partitions(args.partitions)
+    compactor = LinearCompactor(args.misr_width, 1)
+    responses = core.sample_fault_responses(
+        args.faults, np.random.default_rng(args.seed)
+    )
+    results = []
+    for response in responses:
+        result = diagnose(response, scan, partitions, compactor)
+        if args.prune:
+            result = apply_superposition(result, scan)
+        results.append(result)
+        if args.verbose:
+            print(f"{response.fault}: actual={sorted(result.actual_cells)} "
+                  f"candidates={sorted(result.candidate_cells)}")
+        if args.show_map:
+            print(f"{response.fault}:")
+            print(chain_map(result, scan))
+    dr = diagnostic_resolution(results)
+    sound = sum(1 for r in results if r.sound)
+    sessions = args.partitions * args.groups
+    print(f"{args.circuit}: {core.num_cells} cells, {len(results)} faults, "
+          f"{args.scheme} x {args.partitions} partitions "
+          f"({sessions} sessions{', pruned' if args.prune else ''})")
+    print(f"DR = {dr:.3f}   sound: {sound}/{len(results)}")
+    if args.show_map:
+        print(legend())
+    return 0
+
+
+def experiment_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-experiment``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Regenerate one of the paper's tables/figures "
+        "(REPRO_FAULTS / REPRO_FAULTS_LARGE control the sample size).",
+    )
+    parser.add_argument("name", choices=sorted(EXPERIMENT_RUNNERS) + ["all"])
+    parser.add_argument("--faults", type=int, default=None,
+                        help="override the fault sample size")
+    args = parser.parse_args(argv)
+
+    overrides = {}
+    if args.faults is not None:
+        overrides = {"num_faults": args.faults, "num_faults_large": args.faults}
+    config = default_config(**overrides)
+    names = sorted(EXPERIMENT_RUNNERS) if args.name == "all" else [args.name]
+    for name in names:
+        result = EXPERIMENT_RUNNERS[name](config)
+        print(result.render())
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+    """``python -m repro.cli [diagnose|experiment] ...``"""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in ("diagnose", "experiment"):
+        print("usage: python -m repro.cli {diagnose,experiment} ...",
+              file=sys.stderr)
+        return 2
+    command = argv.pop(0)
+    if command == "diagnose":
+        return diagnose_main(argv)
+    return experiment_main(argv)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""Adaptive binary-search diagnosis (Ghosh-Dastidar & Touba [6]) — baseline.
+
+The scheme repeatedly halves failing regions: one BIST session observes one
+contiguous region; if its signature mismatches, the region splits in two and
+both halves are scheduled.  It reaches single-cell resolution but needs the
+test flow to stop and compute between sessions ("test application must be
+frequently interrupted", paper Section 2.2) — the two-step scheme's
+advantage is running an entire pre-planned session schedule uninterrupted.
+
+Included for the session-cost ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..bist.misr import LinearCompactor
+from ..bist.scan import ScanConfig
+from ..bist.session import collect_error_events
+from ..sim.faultsim import FaultResponse
+
+
+@dataclass
+class BinarySearchResult:
+    """Cells isolated by the adaptive search and the sessions it took."""
+
+    actual_cells: Set[int]
+    candidate_cells: Set[int]
+    sessions_used: int
+
+    @property
+    def sound(self) -> bool:
+        return self.actual_cells <= self.candidate_cells
+
+
+def binary_search_diagnose(
+    response: FaultResponse,
+    scan_config: ScanConfig,
+    compactor: Optional[LinearCompactor] = None,
+    min_region: int = 1,
+    session_budget: Optional[int] = None,
+) -> BinarySearchResult:
+    """Diagnose one fault by adaptive region halving.
+
+    ``min_region`` stops the recursion at that region size (1 = single-cell
+    resolution).  ``session_budget`` optionally caps the number of sessions;
+    regions still open when the budget runs out stay in the candidate set.
+    """
+    events = collect_error_events(response, scan_config)
+    total_cycles = scan_config.total_cycles(response.num_patterns)
+    length = scan_config.max_length
+
+    def region_fails(start: int, end: int) -> bool:
+        selected = [
+            (pos, ch, cyc) for (pos, ch, cyc) in events if start <= pos < end
+        ]
+        if compactor is None:
+            return bool(selected)
+        signature = 0
+        for _pos, channel, cycle in selected:
+            signature ^= compactor.impulse_response(channel, total_cycles - 1 - cycle)
+        return signature != 0
+
+    sessions = 0
+    candidates: List[Tuple[int, int]] = []
+    queue: List[Tuple[int, int]] = [(0, length)]
+    while queue:
+        start, end = queue.pop(0)
+        if session_budget is not None and sessions >= session_budget:
+            candidates.append((start, end))
+            continue
+        sessions += 1
+        if not region_fails(start, end):
+            continue
+        if end - start <= min_region:
+            candidates.append((start, end))
+            continue
+        mid = (start + end) // 2
+        queue.append((start, mid))
+        queue.append((mid, end))
+
+    candidate_cells: Set[int] = set()
+    for start, end in candidates:
+        for position in range(start, end):
+            candidate_cells.update(scan_config.cells_at_position(position))
+    return BinarySearchResult(
+        actual_cells=set(response.failing_cells),
+        candidate_cells=candidate_cells,
+        sessions_used=sessions,
+    )

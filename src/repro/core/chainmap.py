@@ -1,0 +1,70 @@
+"""Text visualization of diagnosis outcomes along the scan chain.
+
+Renders, for each chain, one character per shift position:
+
+* ``#`` — truly failing cell correctly kept as a candidate,
+* ``!`` — truly failing cell *pruned* (soundness violation — aliasing),
+* ``+`` — non-failing candidate (the resolution cost),
+* ``.`` — correctly exonerated cell,
+* `` `` — no cell at that position (ragged chains).
+
+What failure analysis sees at a glance: the candidate cluster around the
+defect, and how tightly the scheme confined it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bist.scan import ScanConfig
+from .diagnosis import DiagnosisResult
+
+GLYPH_HIT = "#"
+GLYPH_MISSED = "!"
+GLYPH_FALSE_CANDIDATE = "+"
+GLYPH_CLEAR = "."
+GLYPH_EMPTY = " "
+
+
+def chain_map(
+    result: DiagnosisResult,
+    scan_config: ScanConfig,
+    width: int = 64,
+) -> str:
+    """Render a diagnosis outcome as a per-chain position map.
+
+    Chains longer than ``width`` wrap onto continuation lines.
+    """
+    lines: List[str] = []
+    actual = result.actual_cells
+    candidates = result.candidate_cells
+    for w, chain in enumerate(scan_config.chains):
+        glyphs = []
+        for cell in chain:
+            failing = cell in actual
+            candidate = cell in candidates
+            if failing and candidate:
+                glyphs.append(GLYPH_HIT)
+            elif failing:
+                glyphs.append(GLYPH_MISSED)
+            elif candidate:
+                glyphs.append(GLYPH_FALSE_CANDIDATE)
+            else:
+                glyphs.append(GLYPH_CLEAR)
+        text = "".join(glyphs)
+        for offset in range(0, max(1, len(text)), width):
+            prefix = f"chain {w}" if offset == 0 else " " * 7
+            lines.append(f"{prefix} |{text[offset:offset + width]}|")
+    summary = (
+        f"failing={len(actual)} candidates={len(candidates)} "
+        f"{'sound' if result.sound else 'UNSOUND'}"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def legend() -> str:
+    return (
+        f"{GLYPH_HIT}=failing&candidate  {GLYPH_MISSED}=failing pruned  "
+        f"{GLYPH_FALSE_CANDIDATE}=false candidate  {GLYPH_CLEAR}=exonerated"
+    )

@@ -1,0 +1,49 @@
+"""Deterministic fixed-length interval partitioning (baseline, [8]).
+
+All groups hold the same number of consecutive scan cells (boundary groups
+excepted).  The paper rejects this scheme for its "expensive control logic"
+but it is the natural upper-bound comparator for the randomized interval
+scheme, so it is provided for the ablation benchmarks.  Successive
+partitions are rotations of the first, which is how a deterministic scheme
+obtains independent coverage without randomness.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .partitions import Partition, PartitionError
+
+
+def fixed_interval_partition(
+    length: int, num_groups: int, offset: int = 0
+) -> Partition:
+    """Equal intervals of ``ceil(length / num_groups)`` cells, rotated by
+    ``offset`` positions."""
+    if length < 1 or num_groups < 1:
+        raise PartitionError("length and num_groups must be positive")
+    interval = -(-length // num_groups)  # ceil
+    positions = (np.arange(length) + offset) % length
+    group_of = np.minimum(positions // interval, num_groups - 1).astype(np.int32)
+    return Partition(group_of, num_groups, scheme="deterministic")
+
+
+class DeterministicPartitioner:
+    """Fixed-length intervals; partition ``k`` is rotated by
+    ``k * interval // 2`` so group boundaries move between partitions."""
+
+    def __init__(self, length: int, num_groups: int):
+        self.length = length
+        self.num_groups = num_groups
+        self._interval = -(-length // num_groups)
+        self._count = 0
+
+    def next_partition(self) -> Partition:
+        offset = (self._count * max(1, self._interval // 2)) % self.length
+        self._count += 1
+        return fixed_interval_partition(self.length, self.num_groups, offset)
+
+    def partitions(self, count: int) -> List[Partition]:
+        return [self.next_partition() for _ in range(count)]

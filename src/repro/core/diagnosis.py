@@ -1,0 +1,179 @@
+"""Diagnosis engine: multi-session, multi-partition failing-cell identification.
+
+Ties together the fault response (which cells captured errors, under which
+patterns), the scan configuration (where each cell sits in the shift
+sequence), the partition set (which cells each session observes) and the
+compactor (whether a session's signature reveals the errors).
+
+Candidate pruning is the classical inclusion/exclusion: a cell remains a
+candidate iff its ``(group, chain)`` signature failed in *every* partition.
+The optional superposition post-processing of [7] is in
+:mod:`repro.core.superposition`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..bist.misr import LinearCompactor
+from ..bist.scan import ScanConfig
+from ..bist.session import SessionOutcome, collect_error_events, run_partition_sessions
+from ..sim.faultsim import FaultResponse
+from .partitions import Partition, validate_partition_set
+
+
+@dataclass
+class DiagnosisResult:
+    """Outcome of diagnosing one fault with a partition set."""
+
+    actual_cells: Set[int]
+    candidate_cells: Set[int]
+    outcomes: List[SessionOutcome]
+    partitions: List[Partition]
+    candidate_history: List[int] = field(default_factory=list)
+    #: Candidate mask ``[chain, position]`` after intersection pruning
+    #: (pre-superposition); None-presence positions are always False.
+    position_mask: Optional[np.ndarray] = None
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.actual_cells)
+
+    @property
+    def sound(self) -> bool:
+        """True if no truly failing cell was pruned (soundness can only be
+        violated by MISR aliasing)."""
+        return self.actual_cells <= self.candidate_cells
+
+    @property
+    def num_sessions(self) -> int:
+        return sum(p.num_groups for p in self.partitions)
+
+
+def diagnose(
+    response: FaultResponse,
+    scan_config: ScanConfig,
+    partitions: Sequence[Partition],
+    compactor: Optional[LinearCompactor] = None,
+    channel_resolution: bool = True,
+) -> DiagnosisResult:
+    """Run all sessions of all partitions and intersect failing groups.
+
+    ``compactor=None`` uses exact (alias-free) group pass/fail decisions;
+    passing a :class:`LinearCompactor` models the real MISR comparison.
+
+    ``channel_resolution=False`` collapses each session's per-chain
+    signatures into one (a single shared MISR readout): cells sharing a
+    shift position across chains then always stay together — the ablation
+    quantifies what that costs.
+
+    The result's ``candidate_history[k]`` is the candidate-cell count after
+    the first ``k+1`` partitions — the data behind the paper's Table 1 and
+    Figure 5 sweeps, at no extra simulation cost.
+    """
+    partitions = list(partitions)
+    validate_partition_set(partitions)
+    length = partitions[0].length
+    if length != scan_config.max_length:
+        raise ValueError(
+            f"partition length {length} != scan configuration length "
+            f"{scan_config.max_length}"
+        )
+    events = collect_error_events(response, scan_config)
+    total_cycles = scan_config.total_cycles(response.num_patterns)
+    num_channels = scan_config.num_chains
+
+    outcomes: List[SessionOutcome] = []
+    mask = scan_config.presence_mask()  # [chain, position]
+    history: List[int] = []
+    for part in partitions:
+        outcome = run_partition_sessions(
+            events,
+            part.group_of,
+            part.num_groups,
+            total_cycles,
+            compactor,
+            num_channels=num_channels,
+        )
+        if not channel_resolution:
+            collapsed = outcome.combined(exact=compactor is None)
+            failing = collapsed.failing_matrix(1)[:, 0]  # [group]
+            mask &= failing[part.group_of][np.newaxis, :]
+            outcomes.append(collapsed)
+        else:
+            failing = outcome.failing_matrix(num_channels)  # [group, channel]
+            mask &= failing[part.group_of, :].T  # -> [chain, position]
+            outcomes.append(outcome)
+        history.append(int(mask.sum()))
+
+    candidates = _cells_from_mask(scan_config, mask)
+    return DiagnosisResult(
+        actual_cells=set(response.failing_cells),
+        candidate_cells=candidates,
+        outcomes=outcomes,
+        partitions=partitions,
+        candidate_history=history,
+        position_mask=mask,
+    )
+
+
+def _cells_from_mask(scan_config: ScanConfig, mask: np.ndarray) -> Set[int]:
+    grid = scan_config.cell_id_grid()
+    return set(int(c) for c in grid[mask & (grid >= 0)])
+
+
+def diagnostic_resolution(results: Sequence[DiagnosisResult]) -> float:
+    """The paper's DR metric over a fault population:
+
+    ``DR = (Σ_f |candidates| − Σ_f |actual|) / Σ_f |actual|``
+
+    computed over *detected* faults (undetected faults produce no failing
+    cells and no failing sessions).  DR = 0 is ideal.
+    """
+    total_candidates = 0
+    total_actual = 0
+    for result in results:
+        if not result.detected:
+            continue
+        total_candidates += len(result.candidate_cells)
+        total_actual += len(result.actual_cells)
+    if total_actual == 0:
+        raise ValueError("no detected faults in the result set")
+    return (total_candidates - total_actual) / total_actual
+
+
+def dr_by_partition_count(
+    results: Sequence[DiagnosisResult], max_partitions: int
+) -> List[float]:
+    """DR after 1, 2, ..., ``max_partitions`` partitions (prefix sweep)."""
+    values = []
+    for k in range(max_partitions):
+        total_candidates = 0
+        total_actual = 0
+        for result in results:
+            if not result.detected:
+                continue
+            idx = min(k, len(result.candidate_history) - 1)
+            total_candidates += result.candidate_history[idx]
+            total_actual += len(result.actual_cells)
+        if total_actual == 0:
+            raise ValueError("no detected faults in the result set")
+        values.append((total_candidates - total_actual) / total_actual)
+    return values
+
+
+def partitions_to_reach_dr(
+    results: Sequence[DiagnosisResult],
+    target_dr: float,
+    max_partitions: int,
+) -> Optional[int]:
+    """Smallest partition count whose prefix DR is at most ``target_dr``
+    (paper Figure 5); ``None`` if the target is never reached."""
+    sweep = dr_by_partition_count(results, max_partitions)
+    for count, dr in enumerate(sweep, start=1):
+        if dr <= target_dr:
+            return count
+    return None

@@ -1,0 +1,88 @@
+"""Scan-chain ordering studies.
+
+Section 3 of the paper: "The locations of these error-capturing scan cells
+in the scan chain depend on the scan chain ordering, but there is
+nevertheless a clear dependence between the circuit structure and the
+distribution of failing scan cells."
+
+Interval-based partitioning only helps if structurally related cells sit
+*near each other* in the chain.  This module provides reorderings of a
+:class:`repro.bist.scan.ScanConfig` so experiments can quantify that
+dependence: the structural order (the generator's locality order — what a
+placement-aware stitching tool produces) versus a random permutation (what
+an ordering-oblivious stitcher produces).  Under a random order the
+clusters are destroyed and the interval step loses its advantage — the
+ablation that validates the paper's premise rather than assuming it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..bist.scan import ScanConfig
+from ..sim.faultsim import FaultResponse
+
+
+def permuted_scan_config(
+    scan_config: ScanConfig, permutation: np.ndarray
+) -> ScanConfig:
+    """A new configuration with cell ids re-seated by ``permutation``:
+    the cell at old position ``i`` (flattened chain-major order) moves to
+    the slot previously holding ``permutation[i]``.
+
+    Cell *identities* are preserved — only their chain positions move — so
+    fault responses keep their meaning.
+    """
+    flat = [cell for chain in scan_config.chains for cell in chain]
+    if sorted(permutation.tolist()) != list(range(len(flat))):
+        raise ValueError("permutation must be a bijection over the cells")
+    reordered = [flat[permutation[i]] for i in range(len(flat))]
+    chains = []
+    start = 0
+    for chain in scan_config.chains:
+        chains.append(reordered[start : start + len(chain)])
+        start += len(chain)
+    return ScanConfig(chains)
+
+
+def random_scan_order(
+    scan_config: ScanConfig, rng: np.random.Generator
+) -> ScanConfig:
+    """Randomly permute the cells over the chain slots (cluster-destroying
+    order)."""
+    permutation = rng.permutation(scan_config.num_cells)
+    return permuted_scan_config(scan_config, permutation)
+
+
+def reversed_scan_order(scan_config: ScanConfig) -> ScanConfig:
+    """Reverse each chain (cluster-preserving: spans are invariant)."""
+    return ScanConfig([list(reversed(chain)) for chain in scan_config.chains])
+
+
+def interleaved_scan_order(scan_config: ScanConfig, stride: int) -> ScanConfig:
+    """Deal cells round-robin with the given stride (what a naive
+    multi-segment stitcher produces); partially destroys clusters."""
+    if stride < 1:
+        raise ValueError("stride must be positive")
+    chains = []
+    for chain in scan_config.chains:
+        order = [
+            chain[i]
+            for start in range(stride)
+            for i in range(start, len(chain), stride)
+        ]
+        chains.append(order)
+    return ScanConfig(chains)
+
+
+def response_span(response: FaultResponse, scan_config: ScanConfig) -> int:
+    """Span of the fault's failing cells in shift positions (cluster size
+    as the partitioner sees it)."""
+    positions = [
+        scan_config.location(cell).position for cell in response.failing_cells
+    ]
+    if not positions:
+        return 0
+    return max(positions) - min(positions) + 1

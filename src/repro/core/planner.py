@@ -1,0 +1,173 @@
+"""Analytic diagnosis planning: how many groups and partitions do I need?
+
+The paper chooses group counts by rule of thumb ("our strategy is to use
+more groups on the longer meta scan chains") and sweeps partition counts
+empirically (Table 1, Figure 5).  For the *random-selection* stage the
+expected behaviour has a clean closed form, which this module provides so
+a user can size a diagnosis campaign before running anything:
+
+With ``N`` cells, ``b`` groups per partition and a fault producing ``a``
+failing cells placed uniformly (the random-label assumption):
+
+* a given group fails with probability ``1 − (1 − 1/b)**a``;
+* a non-failing cell survives one partition iff its group fails, so after
+  ``k`` independent partitions it survives with probability
+  ``q = (1 − (1 − 1/b)**a)**k``;
+* expected candidates ``= a + (N − a)·q`` and expected DR ``= (N − a)·q/a``.
+
+Interval partitions violate the uniformity assumption on purpose — that is
+their advantage — so the planner treats the paper's two-step scheme by
+pricing only its random stage (a conservative plan: the interval stage
+only helps).  The model-vs-simulation agreement is pinned by tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+def group_failure_probability(num_groups: int, failing_cells: int) -> float:
+    """Probability that one particular group of a random partition contains
+    at least one of ``failing_cells`` uniformly placed failing cells."""
+    if num_groups < 1:
+        raise ValueError("num_groups must be positive")
+    if failing_cells < 0:
+        raise ValueError("failing_cells must be non-negative")
+    return 1.0 - (1.0 - 1.0 / num_groups) ** failing_cells
+
+
+def expected_dr(
+    num_cells: int, failing_cells: int, num_groups: int, num_partitions: int
+) -> float:
+    """Expected diagnostic resolution of random-selection partitioning."""
+    if num_cells < 1 or failing_cells < 1:
+        raise ValueError("need at least one cell and one failing cell")
+    if failing_cells > num_cells:
+        raise ValueError("more failing cells than cells")
+    survive = group_failure_probability(num_groups, failing_cells) ** num_partitions
+    return (num_cells - failing_cells) * survive / failing_cells
+
+
+def partitions_needed(
+    num_cells: int,
+    failing_cells: int,
+    num_groups: int,
+    target_dr: float,
+    max_partitions: int = 64,
+) -> Optional[int]:
+    """Smallest partition count whose expected DR meets ``target_dr``."""
+    if target_dr < 0:
+        raise ValueError("target_dr must be non-negative")
+    p_fail = group_failure_probability(num_groups, failing_cells)
+    if p_fail >= 1.0:
+        return None  # every group always fails: no pruning at all
+    threshold = target_dr * failing_cells / max(1, num_cells - failing_cells)
+    if threshold >= 1.0:
+        return 1
+    if threshold <= 0.0:
+        return None
+    k = math.ceil(math.log(threshold) / math.log(p_fail))
+    k = max(1, k)
+    return k if k <= max_partitions else None
+
+
+def expected_population_dr(
+    num_cells: int,
+    multiplicities: Sequence[int],
+    num_groups: int,
+    num_partitions: int,
+) -> float:
+    """Expected DR over a heterogeneous fault population.
+
+    DR is a ratio of population sums, so heavy faults dominate: a single
+    30-cell fault contributes far more surviving candidates than ten
+    2-cell faults.  Planning on a single "typical" multiplicity is
+    therefore optimistic; this form evaluates the exact mixture
+    ``DR = Σ_f (N − a_f)·q_f / Σ_f a_f`` over the observed multiplicities
+    (e.g. from :func:`repro.sim.coverage.coverage_report`).
+    """
+    if not multiplicities:
+        raise ValueError("multiplicities must be non-empty")
+    total_candidates_excess = 0.0
+    total_actual = 0
+    for a in multiplicities:
+        if a < 1:
+            continue
+        a = min(a, num_cells)
+        survive = group_failure_probability(num_groups, a) ** num_partitions
+        total_candidates_excess += (num_cells - a) * survive
+        total_actual += a
+    if total_actual == 0:
+        raise ValueError("no detected faults in the multiplicity list")
+    return total_candidates_excess / total_actual
+
+
+def plan_campaign_for_population(
+    num_cells: int,
+    multiplicities: Sequence[int],
+    target_dr: float,
+    group_choices: Sequence[int] = (4, 8, 16, 32, 64, 128),
+    max_partitions: int = 64,
+) -> Optional["CampaignPlan"]:
+    """Cheapest campaign meeting ``target_dr`` for a measured population
+    of fault multiplicities (mixture model)."""
+    best: Optional[CampaignPlan] = None
+    for num_groups in group_choices:
+        if num_groups > num_cells:
+            continue
+        for k in range(1, max_partitions + 1):
+            dr = expected_population_dr(num_cells, multiplicities, num_groups, k)
+            if dr <= target_dr:
+                plan = CampaignPlan(num_groups, k, dr)
+                if best is None or plan.num_sessions < best.num_sessions:
+                    best = plan
+                break
+    return best
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """A recommended diagnosis campaign."""
+
+    num_groups: int
+    num_partitions: int
+    expected_dr: float
+
+    @property
+    def num_sessions(self) -> int:
+        return self.num_groups * self.num_partitions
+
+
+def plan_campaign(
+    num_cells: int,
+    failing_cells: int,
+    target_dr: float,
+    group_choices: Sequence[int] = (4, 8, 16, 32, 64, 128),
+    max_partitions: int = 64,
+) -> Optional[CampaignPlan]:
+    """The cheapest (fewest total sessions) random-selection campaign that
+    meets ``target_dr`` in expectation; ``None`` if no choice does.
+
+    ``failing_cells`` should be the *typical* (e.g. 90th-percentile) error
+    multiplicity of the fault population — see
+    :meth:`repro.sim.coverage.CoverageReport.multiplicity_percentiles`.
+    """
+    best: Optional[CampaignPlan] = None
+    for num_groups in group_choices:
+        if num_groups > num_cells:
+            continue
+        k = partitions_needed(
+            num_cells, failing_cells, num_groups, target_dr, max_partitions
+        )
+        if k is None:
+            continue
+        plan = CampaignPlan(
+            num_groups=num_groups,
+            num_partitions=k,
+            expected_dr=expected_dr(num_cells, failing_cells, num_groups, k),
+        )
+        if best is None or plan.num_sessions < best.num_sessions:
+            best = plan
+    return best

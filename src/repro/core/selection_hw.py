@@ -1,0 +1,158 @@
+"""Cycle-accurate model of the scan-cell selection hardware (paper Fig. 1).
+
+Components: LFSR, Initial Value Register (IVR), Pattern Counter, Shift
+Counter 1 (shift cycles within a pattern), Test Counter 1 (current session /
+group number), and — for two-step partitioning, the shaded blocks — Shift
+Counter 2 and Test Counter 2.
+
+* **Random-selection mode**: on every shift cycle the low ``r`` label bits
+  of the LFSR are compared with Test Counter 1; a match passes the current
+  response bit to the compactor.  The LFSR is reloaded from the IVR at the
+  start of every pattern's unload (so the labelling repeats for each
+  pattern of the session) and at the start of every session; at the end of
+  a partition the IVR captures the LFSR's running state, producing a fresh
+  labelling for the next partition.
+
+* **Interval mode**: at the start of an unload, Shift Counter 2 is loaded
+  with the interval length taken from the LFSR's tapped stages and Test
+  Counter 2 with the session number from Test Counter 1.  Each shift cycle
+  decrements Shift Counter 2; on its carry the LFSR shifts once, the next
+  length is latched, and Test Counter 2 decrements.  Responses pass while
+  Test Counter 2 holds zero — i.e. session ``g`` observes the ``g``-th
+  drawn interval.
+
+The model emits one boolean mask per session over the shift cycles of a
+pattern; equivalence with the functional partitioners in
+:mod:`repro.core.random_selection` / :mod:`repro.core.interval` is enforced
+by tests (and by the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..bist.lfsr import IVR, LFSR
+from .interval import default_length_bits, find_seed
+from .partitions import Partition, PartitionError
+
+
+class SelectionHardware:
+    """The Fig. 1 selection logic, one instance shared by all scan chains."""
+
+    def __init__(
+        self,
+        chain_length: int,
+        num_groups: int,
+        mode: str = "random",
+        lfsr_degree: int = 16,
+        seed: Optional[int] = None,
+        length_bits: Optional[int] = None,
+    ):
+        if mode not in ("random", "interval"):
+            raise ValueError(f"mode must be 'random' or 'interval', got {mode!r}")
+        if chain_length < 1:
+            raise PartitionError("chain length must be positive")
+        self.chain_length = chain_length
+        self.num_groups = num_groups
+        self.mode = mode
+        self.lfsr_degree = lfsr_degree
+        if mode == "random":
+            bits = (num_groups - 1).bit_length()
+            if 1 << bits != num_groups:
+                raise PartitionError("random mode needs a power-of-two group count")
+            self.label_bits = bits
+            self.length_bits = 0
+            initial = seed if seed is not None else 0x5EED
+        else:
+            self.label_bits = 0
+            self.length_bits = length_bits or default_length_bits(
+                chain_length, num_groups
+            )
+            initial = seed if seed is not None else find_seed(
+                chain_length, num_groups, lfsr_degree, self.length_bits
+            )
+        self.lfsr = LFSR(lfsr_degree, initial)
+        self.ivr = IVR(self.lfsr.state)
+        self._stage_positions = self.lfsr.spread_stage_positions(
+            self.label_bits if mode == "random" else self.length_bits
+        )
+        # Registers of Fig. 1.
+        self.test_counter_1 = 0
+        self.shift_counter_1 = 0
+        self.pattern_counter = 0
+        self.shift_counter_2 = 0
+        self.test_counter_2 = 0
+
+    # -- one pattern's unload -------------------------------------------------
+
+    def unload_mask(self, session: int) -> np.ndarray:
+        """Select bits for every shift cycle of one pattern in ``session``.
+
+        Deterministic per (IVR value, session): the hardware reloads the
+        LFSR from the IVR at the start of the unload.
+        """
+        self.test_counter_1 = session
+        self.ivr.reload(self.lfsr)
+        mask = np.zeros(self.chain_length, dtype=bool)
+        if self.mode == "random":
+            for cycle in range(self.chain_length):
+                self.shift_counter_1 = cycle
+                label = self.lfsr.peek_stages(self._stage_positions)
+                mask[cycle] = label == self.test_counter_1
+                self.lfsr.step()
+        else:
+            self.test_counter_2 = self.test_counter_1
+            self.shift_counter_2 = self._latch_length()
+            for cycle in range(self.chain_length):
+                self.shift_counter_1 = cycle
+                mask[cycle] = self.test_counter_2 == 0
+                self.shift_counter_2 -= 1
+                if self.shift_counter_2 == 0:  # carry out
+                    self.lfsr.step()
+                    self.shift_counter_2 = self._latch_length()
+                    self.test_counter_2 -= 1
+        return mask
+
+    def _latch_length(self) -> int:
+        value = self.lfsr.peek_stages(self._stage_positions)
+        return value if value else 1 << self.length_bits
+
+    # -- partitions -------------------------------------------------------------
+
+    def run_partition(self) -> List[np.ndarray]:
+        """Masks of all ``num_groups`` sessions of the current partition,
+        then update the IVR so the next partition differs.
+
+        In interval mode successive partitions need fresh covering seeds
+        (the IVR is reloaded with the next one), mirroring the off-line seed
+        computation the paper describes.
+        """
+        masks = [self.unload_mask(g) for g in range(self.num_groups)]
+        if self.mode == "random":
+            # IVR takes the LFSR state left by the last session's run.
+            self.ivr.update_from(self.lfsr)
+        else:
+            next_seed = find_seed(
+                self.chain_length,
+                self.num_groups,
+                self.lfsr_degree,
+                self.length_bits,
+                start_seed=self.ivr.value + 1,
+            )
+            self.ivr.value = next_seed
+        return masks
+
+    def partition_from_masks(self, masks: List[np.ndarray]) -> Partition:
+        """Reassemble a :class:`Partition` from per-session masks; raises if
+        the masks are not a disjoint cover (hardware self-check)."""
+        group_of = np.full(self.chain_length, -1, dtype=np.int32)
+        for g, mask in enumerate(masks):
+            if np.any(group_of[mask] != -1):
+                raise PartitionError("session masks overlap")
+            group_of[mask] = g
+        if np.any(group_of < 0):
+            raise PartitionError("session masks do not cover the chain")
+        scheme = "random-selection" if self.mode == "random" else "interval"
+        return Partition(group_of, self.num_groups, scheme=scheme)

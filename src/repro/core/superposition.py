@@ -1,0 +1,118 @@
+"""Superposition-based candidate pruning (Bayraktaroglu & Orailoglu [7]).
+
+The MISR is linear, so the XOR of two sessions' *error signatures* on the
+same response channel equals the error signature of the error stream
+restricted to the **symmetric difference** of the two sessions' observed
+cell sets (errors in the common cells cancel).  No extra test sessions are
+needed: the derived signatures come for free from the ones already
+collected.
+
+If a derived signature is zero, the symmetric-difference region (with
+aliasing probability ``2**-width``) contains no error-capturing cells, and
+every candidate inside it can be pruned.  This recovers additional
+resolution exactly where plain intersection pruning is weakest: a cell that
+shares a failing group with a true failing cell in *every* partition
+survives intersection, but usually sits in some failing group pair whose
+symmetric difference is error-free.
+
+The procedure iterates to a fixed point because pruning one region can make
+another pair's difference decisive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..bist.scan import ScanConfig
+from ..bist.session import SessionOutcome
+from .diagnosis import DiagnosisResult, _cells_from_mask
+from .partitions import Partition
+
+
+def superposition_prune(
+    partitions: Sequence[Partition],
+    outcomes: Sequence[SessionOutcome],
+    candidate_mask: np.ndarray,
+    max_rounds: int = 4,
+) -> np.ndarray:
+    """Refine a candidate mask ``[chain, position]`` using derived
+    (superposed) signatures.
+
+    ``outcomes`` must carry real MISR error signatures — the exact
+    (alias-free) session mode collapses all failing signatures to 1 and
+    would erase the information this pruning relies on.
+    """
+    _require_real_signatures(outcomes)
+    mask = candidate_mask.copy()
+    # Failing sessions grouped by channel: only same-channel signatures are
+    # comparable (different channels inject at different MISR stages, and
+    # their error streams have disjoint support — equal nonzero signatures
+    # across channels could only be aliasing).
+    by_channel: Dict[int, List[Tuple[int, np.ndarray, int]]] = {}
+    for part_idx, (part, outcome) in enumerate(zip(partitions, outcomes)):
+        for group, channel in outcome.failing_pairs:
+            members = part.group_of == group
+            by_channel.setdefault(channel, []).append(
+                (part_idx, members, outcome.signatures[group][channel])
+            )
+    for _round in range(max_rounds):
+        changed = False
+        for channel, sessions in by_channel.items():
+            for i in range(len(sessions)):
+                part_i, members_i, sig_i = sessions[i]
+                for j in range(i + 1, len(sessions)):
+                    part_j, members_j, sig_j = sessions[j]
+                    if part_i == part_j:
+                        # Groups of one partition are disjoint; their XOR
+                        # covers the union and can only be zero through
+                        # aliasing.
+                        continue
+                    if sig_i != sig_j:
+                        continue
+                    difference = np.logical_xor(members_i, members_j)
+                    if (mask[channel] & difference).any():
+                        mask[channel] &= ~difference
+                        changed = True
+        if not changed:
+            break
+    return mask
+
+
+def apply_superposition(
+    result: DiagnosisResult, scan_config: ScanConfig, max_rounds: int = 4
+) -> DiagnosisResult:
+    """Return a new :class:`DiagnosisResult` with superposition pruning
+    applied on top of the intersection-pruned candidates."""
+    if result.position_mask is None:
+        raise ValueError("result carries no position mask")
+    mask = superposition_prune(
+        result.partitions, result.outcomes, result.position_mask, max_rounds
+    )
+    return DiagnosisResult(
+        actual_cells=set(result.actual_cells),
+        candidate_cells=_cells_from_mask(scan_config, mask),
+        outcomes=list(result.outcomes),
+        partitions=list(result.partitions),
+        candidate_history=list(result.candidate_history),
+        position_mask=mask,
+    )
+
+
+def _require_real_signatures(outcomes: Sequence[SessionOutcome]) -> None:
+    # Exact-mode outcomes use the placeholder signature 1 for every failing
+    # (group, channel); two or more distinct nonzero signatures cannot occur
+    # then.
+    nonzero = {
+        sig
+        for outcome in outcomes
+        for per_channel in outcome.signatures
+        for sig in per_channel
+        if sig != 0
+    }
+    if nonzero and nonzero == {1}:
+        raise ValueError(
+            "superposition pruning needs MISR signatures; run diagnosis with "
+            "a LinearCompactor instead of exact mode"
+        )

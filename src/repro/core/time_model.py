@@ -1,0 +1,85 @@
+"""Diagnosis-time accounting.
+
+The paper's Figure 5 argues in partition counts; what the test floor pays
+for is *tester cycles*.  This module converts a diagnosis campaign into
+cycles under the standard test-per-scan cost model:
+
+* one pattern costs ``max_chain_length`` shift cycles (scan-in of the next
+  pattern overlaps scan-out of the previous response) plus one capture
+  cycle;
+* one BIST session replays the whole pattern set, plus one extra unload to
+  flush the final response — ``(patterns + 1) * L + patterns`` cycles;
+* a partition of ``b`` groups costs ``b`` sessions; a scheme with ``P``
+  partitions costs ``P * b`` sessions, all pre-planned (no tester
+  interruption);
+* the adaptive binary-search baseline [6] additionally pays a
+  ``resync_cycles`` penalty per session for stopping the flow, computing
+  the next region and restarting — the overhead the paper's scheme avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..bist.scan import ScanConfig
+from .diagnosis import DiagnosisResult, partitions_to_reach_dr
+
+
+def session_cycles(scan_config: ScanConfig, num_patterns: int) -> int:
+    """Tester cycles for one BIST session (one masked signature)."""
+    length = scan_config.max_length
+    return (num_patterns + 1) * length + num_patterns
+
+
+def campaign_cycles(
+    num_partitions: int,
+    num_groups: int,
+    scan_config: ScanConfig,
+    num_patterns: int,
+) -> int:
+    """Cycles for a full pre-planned partition campaign."""
+    return num_partitions * num_groups * session_cycles(scan_config, num_patterns)
+
+
+def adaptive_cycles(
+    num_sessions: int,
+    scan_config: ScanConfig,
+    num_patterns: int,
+    resync_cycles: int = 10_000,
+) -> int:
+    """Cycles for an adaptive (binary-search) campaign, including the
+    per-session stop-compute-restart penalty."""
+    return num_sessions * (session_cycles(scan_config, num_patterns) + resync_cycles)
+
+
+@dataclass(frozen=True)
+class TimeEstimate:
+    """A cycle count with a wall-clock view at a given test clock."""
+
+    cycles: int
+    clock_hz: float = 50e6
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.clock_hz
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.cycles} cycles ({self.seconds * 1e3:.2f} ms @ {self.clock_hz / 1e6:.0f} MHz)"
+
+
+def cycles_to_reach_dr(
+    results: Sequence[DiagnosisResult],
+    target_dr: float,
+    num_groups: int,
+    scan_config: ScanConfig,
+    num_patterns: int,
+    max_partitions: int,
+) -> Optional[int]:
+    """Tester cycles needed until the prefix DR drops to ``target_dr``
+    (the cycle-domain version of the paper's Figure 5); ``None`` if the
+    target is never reached within ``max_partitions``."""
+    needed = partitions_to_reach_dr(results, target_dr, max_partitions)
+    if needed is None:
+        return None
+    return campaign_cycles(needed, num_groups, scan_config, num_patterns)

@@ -1,0 +1,131 @@
+"""Failing test-vector identification (companion scheme, Liu, Chakrabarty &
+Goessel, DATE 2002 [4]).
+
+The paper's reference [4] applies the same interval idea on the *time*
+axis: instead of masking scan cells, the BIST flow is split into sessions
+that each compact the responses of one group of *patterns*, so a signature
+mismatch localizes the failing test vectors.  Knowing the failing vectors
+is the other half of failure analysis (it selects the patterns to replay on
+an ATE for effect-cause analysis), and the paper positions the failing-cell
+scheme as the space-axis complement of this known-time scheme.
+
+The implementation mirrors :mod:`repro.core.diagnosis`, with partitions
+over pattern indices and signatures collected per (pattern-group, channel)
+session.  All four partitioning schemes apply unchanged — a
+:class:`repro.core.partitions.Partition` over patterns instead of shift
+positions — because errors cluster in time too (a fault is detected by
+correlated pattern subsets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..bist.misr import LinearCompactor
+from ..bist.scan import ScanConfig
+from ..bist.session import collect_error_events
+from ..sim.faultsim import FaultResponse
+from .partitions import Partition, validate_partition_set
+
+
+@dataclass
+class VectorDiagnosisResult:
+    """Outcome of failing-vector diagnosis for one fault."""
+
+    actual_vectors: Set[int]
+    candidate_vectors: Set[int]
+    candidate_history: List[int] = field(default_factory=list)
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.actual_vectors)
+
+    @property
+    def sound(self) -> bool:
+        return self.actual_vectors <= self.candidate_vectors
+
+
+def failing_vectors(response: FaultResponse) -> Set[int]:
+    """Patterns under which at least one scan cell captured an error."""
+    from ..sim.bitops import WORD_BITS
+
+    vectors: Set[int] = set()
+    for vec in response.cell_errors.values():
+        for word_idx in range(len(vec)):
+            word = int(vec[word_idx])
+            while word:
+                low = word & -word
+                vectors.add(word_idx * WORD_BITS + (low.bit_length() - 1))
+                word ^= low
+    return vectors
+
+
+def diagnose_vectors(
+    response: FaultResponse,
+    scan_config: ScanConfig,
+    partitions: Sequence[Partition],
+    compactor: Optional[LinearCompactor] = None,
+) -> VectorDiagnosisResult:
+    """Identify failing test vectors via pattern-group sessions.
+
+    ``partitions`` must cover ``response.num_patterns`` positions (pattern
+    indices).  Session ``(partition, group)`` compacts the responses of the
+    patterns in that group only; a signature mismatch marks the group
+    failing, and candidates are intersected across partitions exactly as in
+    the failing-cell scheme.
+    """
+    partitions = list(partitions)
+    validate_partition_set(partitions)
+    if partitions[0].length != response.num_patterns:
+        raise ValueError(
+            f"partition length {partitions[0].length} != number of patterns "
+            f"{response.num_patterns}"
+        )
+    events = collect_error_events(response, scan_config)
+    chain_cycles = scan_config.max_length
+    total_cycles = scan_config.total_cycles(response.num_patterns)
+
+    mask = np.ones(response.num_patterns, dtype=bool)
+    history: List[int] = []
+    for part in partitions:
+        signatures = [0] * part.num_groups
+        for _position, channel, cycle in events:
+            pattern = cycle // chain_cycles
+            group = int(part.group_of[pattern])
+            if compactor is None:
+                signatures[group] = 1
+            else:
+                # Within a session, only the selected patterns' unload
+                # windows drive the compactor; the per-pattern window keeps
+                # its global timing so signatures stay comparable.
+                signatures[group] ^= compactor.impulse_response(
+                    channel, total_cycles - 1 - cycle
+                )
+        failing = np.array([sig != 0 for sig in signatures])
+        mask &= failing[part.group_of]
+        history.append(int(mask.sum()))
+
+    return VectorDiagnosisResult(
+        actual_vectors=failing_vectors(response),
+        candidate_vectors={int(p) for p in np.flatnonzero(mask)},
+        candidate_history=history,
+    )
+
+
+def vector_diagnostic_resolution(
+    results: Sequence[VectorDiagnosisResult],
+) -> float:
+    """DR over failing vectors, mirroring the failing-cell metric."""
+    total_candidates = 0
+    total_actual = 0
+    for result in results:
+        if not result.detected:
+            continue
+        total_candidates += len(result.candidate_vectors)
+        total_actual += len(result.actual_vectors)
+    if total_actual == 0:
+        raise ValueError("no detected faults in the result set")
+    return (total_candidates - total_actual) / total_actual

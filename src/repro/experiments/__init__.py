@@ -1,0 +1,69 @@
+"""Experiment harness: one module per table/figure of the paper, plus the
+ablation studies and shared workload machinery."""
+
+from .ablations import (
+    run_aliasing_ablation,
+    run_binary_search_ablation,
+    run_deterministic_ablation,
+    run_group_count_ablation,
+    run_interval_count_ablation,
+)
+from .atpg_topup import run_atpg_topup
+from .clustering import run_clustering
+from .config import ExperimentConfig, default_config, paper_config
+from .error_model import run_error_model_ablation
+from .extensions import (
+    run_diagnosis_time,
+    run_multi_core,
+    run_scan_order_ablation,
+    run_vector_diagnosis,
+)
+from .figure3 import run_figure3
+from .patterns_ablation import run_pattern_count_ablation
+from .figure5 import run_figure5
+from .reporting import render_series, render_table
+from .runner import (
+    SchemeEvaluation,
+    Workload,
+    build_circuit_workload,
+    build_soc_workloads,
+    evaluate_scheme,
+    scheme_partitions,
+)
+from .soc_tables import run_soc_table, run_table3, run_table4
+from .table1 import run_table1
+from .table2 import run_table2
+
+__all__ = [
+    "ExperimentConfig",
+    "SchemeEvaluation",
+    "Workload",
+    "build_circuit_workload",
+    "build_soc_workloads",
+    "default_config",
+    "evaluate_scheme",
+    "paper_config",
+    "render_series",
+    "render_table",
+    "run_aliasing_ablation",
+    "run_atpg_topup",
+    "run_binary_search_ablation",
+    "run_clustering",
+    "run_deterministic_ablation",
+    "run_error_model_ablation",
+    "run_figure3",
+    "run_figure5",
+    "run_group_count_ablation",
+    "run_interval_count_ablation",
+    "run_diagnosis_time",
+    "run_multi_core",
+    "run_pattern_count_ablation",
+    "run_scan_order_ablation",
+    "run_soc_table",
+    "run_vector_diagnosis",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "scheme_partitions",
+]

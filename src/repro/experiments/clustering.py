@@ -1,0 +1,95 @@
+"""Figure 2 evidence: clustering statistics of failing scan cells.
+
+The paper's argument (Section 3, Figure 2) is that a fault's error-capturing
+cells are confined to the fault cone and therefore occupy a small *segment*
+of the scan chain.  This experiment quantifies that on our circuits: for
+each detected fault, the span of its failing cells (max − min + 1) relative
+to the chain length.  Small relative spans confirm the clustering premise
+that makes interval-based partitioning effective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..circuit.levelize import cone_span
+from .config import ExperimentConfig, default_config
+from .reporting import render_table
+from .runner import build_circuit_workload
+
+
+@dataclass
+class ClusteringRow:
+    circuit: str
+    num_cells: int
+    num_faults: int
+    mean_failing_cells: float
+    mean_span: float
+    mean_relative_span: float
+    p90_relative_span: float
+
+
+@dataclass
+class ClusteringResult:
+    rows: List[ClusteringRow]
+
+    def render(self) -> str:
+        return render_table(
+            "Figure 2 evidence: failing-cell clustering per fault",
+            [
+                "circuit",
+                "cells",
+                "faults",
+                "mean #failing",
+                "mean span",
+                "mean span/chain",
+                "p90 span/chain",
+            ],
+            [
+                [
+                    r.circuit,
+                    r.num_cells,
+                    r.num_faults,
+                    r.mean_failing_cells,
+                    r.mean_span,
+                    r.mean_relative_span,
+                    r.p90_relative_span,
+                ]
+                for r in self.rows
+            ],
+        )
+
+
+def run_clustering(
+    circuits: Sequence[str] = ("s953", "s5378", "s9234"),
+    config: Optional[ExperimentConfig] = None,
+) -> ClusteringResult:
+    config = config or default_config()
+    rows = []
+    for name in circuits:
+        workload = build_circuit_workload(name, config)
+        spans = []
+        counts = []
+        for response in workload.responses:
+            cells = response.failing_cells
+            if not cells:
+                continue
+            counts.append(len(cells))
+            spans.append(cone_span(cells))
+        spans_arr = np.array(spans, dtype=float)
+        relative = spans_arr / workload.num_cells
+        rows.append(
+            ClusteringRow(
+                circuit=name,
+                num_cells=workload.num_cells,
+                num_faults=len(spans),
+                mean_failing_cells=float(np.mean(counts)),
+                mean_span=float(np.mean(spans_arr)),
+                mean_relative_span=float(np.mean(relative)),
+                p90_relative_span=float(np.percentile(relative, 90)),
+            )
+        )
+    return ClusteringResult(rows)

@@ -1,0 +1,97 @@
+"""Ablation: BIST pattern count.
+
+The paper uses 200 patterns for Table 1 and 128 for everything else
+("Since the simulation time is very high, we use only 128 pseudorandom
+patterns for each BIST session").  More patterns mean more detecting
+events per fault — better group-failure observability — but also more
+failing cells per fault (bigger candidate floors) and longer sessions.
+This ablation sweeps the pattern count and reports fault coverage, mean
+error multiplicity, DR and session cost together, quantifying the
+trade-off the paper resolves by fiat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.time_model import session_cycles
+from ..sim.coverage import coverage_report
+from ..soc.core_wrapper import EmbeddedCore
+from .config import ExperimentConfig, default_config
+from .reporting import render_table
+from .runner import Workload, evaluate_scheme, hash_name
+
+
+@dataclass
+class PatternCountAblation:
+    circuit: str
+    rows: List[list]  # [patterns, coverage, mean fails, DR two-step, kcycles]
+
+    def render(self) -> str:
+        return render_table(
+            f"Ablation 6: BIST pattern count ({self.circuit}, two-step, "
+            f"8 partitions)",
+            [
+                "patterns",
+                "fault coverage",
+                "mean failing cells",
+                "DR two-step",
+                "session kcycles",
+            ],
+            self.rows,
+        )
+
+
+def run_pattern_count_ablation(
+    circuit: str = "s5378",
+    pattern_counts: Sequence[int] = (32, 64, 128, 256),
+    num_partitions: int = 8,
+    num_groups: int = 16,
+    config: Optional[ExperimentConfig] = None,
+) -> PatternCountAblation:
+    config = config or default_config()
+    from ..bist.scan import ScanConfig
+    from ..circuit.library import get_circuit
+
+    rows = []
+    for num_patterns in pattern_counts:
+        core = EmbeddedCore(
+            get_circuit(circuit, scale=config.scale), num_patterns=num_patterns
+        )
+        rng = np.random.default_rng(config.fault_seed ^ hash_name(circuit))
+        report = coverage_report(
+            core.fault_simulator,
+            max_faults=config.faults_for(circuit) * 2,
+            rng=rng,
+        )
+        responses = core.sample_fault_responses(
+            config.faults_for(circuit), np.random.default_rng(config.fault_seed)
+        )
+        workload = Workload(
+            name=circuit,
+            scan_config=ScanConfig.single_chain(core.num_cells),
+            responses=responses,
+            num_patterns=num_patterns,
+        )
+        evaluation = evaluate_scheme(
+            workload, "two-step", num_partitions, num_groups, config
+        )
+        detected = report.detected_profiles
+        mean_fails = (
+            float(np.mean([p.num_failing_cells for p in detected]))
+            if detected
+            else 0.0
+        )
+        rows.append(
+            [
+                num_patterns,
+                report.fault_coverage,
+                mean_fails,
+                evaluation.dr,
+                session_cycles(workload.scan_config, num_patterns) / 1000.0,
+            ]
+        )
+    return PatternCountAblation(circuit, rows)

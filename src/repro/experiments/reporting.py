@@ -1,0 +1,45 @@
+"""Plain-text table rendering for experiment output (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 2,
+) -> str:
+    """A fixed-width table with a title rule, like the paper's tables."""
+    text_rows: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = [title, rule, line(headers), rule]
+    out.extend(line(row) for row in text_rows)
+    out.append(rule)
+    return "\n".join(out)
+
+
+def render_series(title: str, labels: Sequence[str], values: Sequence[Cell]) -> str:
+    """A labelled one-row series (for figure-style outputs)."""
+    return render_table(title, list(labels), [list(values)])

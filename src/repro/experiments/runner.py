@@ -1,0 +1,161 @@
+"""Shared experiment machinery: workload construction and scheme evaluation.
+
+A *workload* bundles everything fault-independent — the circuit (or SOC),
+its pattern set, the fault-free simulation, and a sampled set of fault
+responses.  Partition sets are likewise fault-independent (they are fixed
+by LFSR seeds), so each scheme's partitions are generated once and reused
+across all faults, exactly as the hardware would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..bist.misr import LinearCompactor
+from ..bist.scan import ScanConfig
+from ..core.diagnosis import DiagnosisResult, diagnose, diagnostic_resolution
+from ..core.partitions import Partition
+from ..core.superposition import apply_superposition
+from ..core.two_step import make_partitioner
+from ..sim.faultsim import FaultResponse
+from ..soc.core_wrapper import EmbeddedCore
+from ..soc.testrail import TestRail
+from .config import ExperimentConfig
+
+
+@dataclass
+class Workload:
+    """Fault responses plus the scan configuration they are observed on."""
+
+    name: str
+    scan_config: ScanConfig
+    responses: List[FaultResponse]
+    num_patterns: int
+
+    @property
+    def num_cells(self) -> int:
+        return self.scan_config.num_cells
+
+
+def build_circuit_workload(
+    circuit_name: str, config: ExperimentConfig, num_patterns: Optional[int] = None
+) -> Workload:
+    """Single-scan-chain workload for one benchmark circuit."""
+    patterns = num_patterns or config.num_patterns
+    core = EmbeddedCore(
+        _get_circuit(circuit_name, config), num_patterns=patterns
+    )
+    rng = np.random.default_rng(config.fault_seed ^ hash_name(circuit_name))
+    responses = core.sample_fault_responses(config.faults_for(circuit_name), rng)
+    return Workload(
+        name=circuit_name,
+        scan_config=ScanConfig.single_chain(core.num_cells),
+        responses=responses,
+        num_patterns=patterns,
+    )
+
+
+def build_soc_workloads(
+    soc: TestRail, config: ExperimentConfig
+) -> Dict[str, Workload]:
+    """One workload per faulty core: faults injected in that core only, with
+    responses lifted onto the SOC's meta scan chains (the paper's "only one
+    core contains failing scan cells" protocol)."""
+    workloads: Dict[str, Workload] = {}
+    for core_index, core in enumerate(soc.cores):
+        rng = np.random.default_rng(config.fault_seed ^ hash_name(core.name))
+        local = core.sample_fault_responses(config.faults_for(core.name), rng)
+        lifted = [soc.lift_response(core_index, r) for r in local]
+        workloads[core.name] = Workload(
+            name=f"{soc.name}/{core.name}",
+            scan_config=soc.scan_config,
+            responses=lifted,
+            num_patterns=core.num_patterns,
+        )
+    return workloads
+
+
+def scheme_partitions(
+    scheme: str,
+    length: int,
+    num_groups: int,
+    num_partitions: int,
+    lfsr_degree: int = 16,
+    seed: Optional[int] = None,
+    num_interval_partitions: int = 1,
+) -> List[Partition]:
+    """The fixed partition sequence a scheme would burn into the BIST flow."""
+    partitioner = make_partitioner(
+        scheme,
+        length,
+        num_groups,
+        lfsr_degree=lfsr_degree,
+        seed=seed,
+        num_interval_partitions=num_interval_partitions,
+    )
+    return partitioner.partitions(num_partitions)
+
+
+@dataclass
+class SchemeEvaluation:
+    """DR (and optionally pruned DR) of one scheme over one workload."""
+
+    scheme: str
+    dr: float
+    dr_pruned: Optional[float]
+    results: List[DiagnosisResult] = field(repr=False, default_factory=list)
+    pruned_results: List[DiagnosisResult] = field(repr=False, default_factory=list)
+
+
+def evaluate_scheme(
+    workload: Workload,
+    scheme: str,
+    num_partitions: int,
+    num_groups: int,
+    config: ExperimentConfig,
+    with_pruning: bool = False,
+    compactor: Optional[LinearCompactor] = None,
+    num_interval_partitions: int = 1,
+) -> SchemeEvaluation:
+    """Diagnose every sampled fault of the workload under one scheme."""
+    partitions = scheme_partitions(
+        scheme,
+        workload.scan_config.max_length,
+        num_groups,
+        num_partitions,
+        lfsr_degree=config.lfsr_degree,
+        num_interval_partitions=num_interval_partitions,
+    )
+    if compactor is None:
+        compactor = LinearCompactor(
+            config.misr_width, workload.scan_config.num_chains
+        )
+    results = [
+        diagnose(response, workload.scan_config, partitions, compactor)
+        for response in workload.responses
+    ]
+    dr = diagnostic_resolution(results)
+    dr_pruned = None
+    pruned_results: List[DiagnosisResult] = []
+    if with_pruning:
+        pruned_results = [
+            apply_superposition(result, workload.scan_config) for result in results
+        ]
+        dr_pruned = diagnostic_resolution(pruned_results)
+    return SchemeEvaluation(scheme, dr, dr_pruned, results, pruned_results)
+
+
+def hash_name(name: str) -> int:
+    value = 0
+    for ch in name:
+        value = (value * 131 + ord(ch)) & 0x7FFFFFFF
+    return value
+
+
+def _get_circuit(name: str, config: ExperimentConfig):
+    from ..circuit.library import get_circuit
+
+    return get_circuit(name, scale=config.scale)

@@ -1,0 +1,134 @@
+"""Tables 3 and 4: SOC diagnostic resolution, per failing core.
+
+Table 3 — the stitched SOC (six largest ISCAS-89 cores on a single meta
+scan chain), 8 partitions of 32 groups.  Table 4 — the d695-variant SOC
+(8 balanced meta scan chains on an 8-bit TAM), 8 partitions of 8 groups.
+In both, exactly one core is assumed faulty per experiment; 500 stuck-at
+faults are injected into that core.  Expected shape: two-step beats random
+selection for every failing core (up to ~10x), with and without pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..soc.d695 import build_d695_soc
+from ..soc.stitch import build_stitched_soc
+from ..soc.testrail import TestRail
+from .config import ExperimentConfig, default_config
+from .reporting import render_table
+from .runner import build_soc_workloads, evaluate_scheme
+
+NUM_PARTITIONS = 8
+SOC1_GROUPS = 32  # "a rather long meta scan chain so we use 32 groups"
+SOC2_GROUPS = 8  # "the scan chains are relatively shorter ... set to 8"
+
+
+@dataclass
+class SocRow:
+    failing_core: str
+    num_core_cells: int
+    num_faults: int
+    dr_random: float
+    dr_two_step: float
+    dr_random_pruned: float
+    dr_two_step_pruned: float
+
+
+@dataclass
+class SocTableResult:
+    title: str
+    num_groups: int
+    total_cells: int
+    rows: List[SocRow]
+
+    def render(self) -> str:
+        return render_table(
+            f"{self.title} ({NUM_PARTITIONS} partitions x {self.num_groups} "
+            f"groups, {self.total_cells} meta-chain cells)",
+            [
+                "failing core",
+                "core cells",
+                "faults",
+                "DR random",
+                "DR two-step",
+                "DR random+prune",
+                "DR two-step+prune",
+            ],
+            [
+                [
+                    r.failing_core,
+                    r.num_core_cells,
+                    r.num_faults,
+                    r.dr_random,
+                    r.dr_two_step,
+                    r.dr_random_pruned,
+                    r.dr_two_step_pruned,
+                ]
+                for r in self.rows
+            ],
+        )
+
+
+def run_soc_table(
+    soc: TestRail,
+    num_groups: int,
+    title: str,
+    config: Optional[ExperimentConfig] = None,
+) -> SocTableResult:
+    config = config or default_config()
+    workloads = build_soc_workloads(soc, config)
+    rows = []
+    for core_index, core in enumerate(soc.cores):
+        workload = workloads[core.name]
+        random_eval = evaluate_scheme(
+            workload, "random", NUM_PARTITIONS, num_groups, config, with_pruning=True
+        )
+        two_step_eval = evaluate_scheme(
+            workload, "two-step", NUM_PARTITIONS, num_groups, config,
+            with_pruning=True,
+        )
+        rows.append(
+            SocRow(
+                failing_core=core.name,
+                num_core_cells=core.num_cells,
+                num_faults=len(workload.responses),
+                dr_random=random_eval.dr,
+                dr_two_step=two_step_eval.dr,
+                dr_random_pruned=random_eval.dr_pruned,
+                dr_two_step_pruned=two_step_eval.dr_pruned,
+            )
+        )
+    return SocTableResult(
+        title=title,
+        num_groups=num_groups,
+        total_cells=soc.num_cells,
+        rows=rows,
+    )
+
+
+def run_table3(
+    config: Optional[ExperimentConfig] = None,
+    soc: Optional[TestRail] = None,
+) -> SocTableResult:
+    """SOC 1: single meta scan chain through the six largest benchmarks."""
+    config = config or default_config()
+    soc = soc or build_stitched_soc(num_patterns=config.num_patterns, scale=config.scale)
+    return run_soc_table(
+        soc, SOC1_GROUPS, "Table 3: SOC diagnostic resolution, single scan chain",
+        config,
+    )
+
+
+def run_table4(
+    config: Optional[ExperimentConfig] = None,
+    soc: Optional[TestRail] = None,
+) -> SocTableResult:
+    """SOC 2: d695 variant, 8 balanced meta scan chains."""
+    config = config or default_config()
+    soc = soc or build_d695_soc(num_patterns=config.num_patterns, scale=config.scale)
+    return run_soc_table(
+        soc, SOC2_GROUPS, "Table 4: SOC diagnostic resolution, multiple scan chains",
+        config,
+    )

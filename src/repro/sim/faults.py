@@ -1,0 +1,123 @@
+"""Single stuck-at fault universe and structural equivalence collapsing.
+
+A fault is either a *net* (gate output / stem) fault or an *input-pin*
+(branch) fault of a specific gate.  Collapsing applies the textbook
+gate-local equivalence rules:
+
+* ``BUF``/``NOT``: every input fault is equivalent to an output fault.
+* ``AND``/``NAND``: input stuck-at-0 is equivalent to output stuck-at-0/1.
+* ``OR``/``NOR``: input stuck-at-1 is equivalent to output stuck-at-1/0.
+* A net with exactly one fanout pin makes the pin fault equivalent to the
+  net fault.
+
+``XOR``/``XNOR`` inputs do not collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..circuit.netlist import GateType, Netlist
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """A single stuck-at fault.
+
+    ``net`` is the faulty signal.  For a net (stem/output) fault ``pin`` is
+    ``None``; for an input-pin fault, ``pin = (gate_output, fanin_position)``
+    identifies the branch where the fault sits.
+    """
+
+    net: str
+    stuck_at: int
+    pin: Optional[Tuple[str, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.stuck_at not in (0, 1):
+            raise ValueError("stuck_at must be 0 or 1")
+
+    @property
+    def site(self) -> str:
+        """The gate whose output starts the fault's propagation cone."""
+        return self.pin[0] if self.pin is not None else self.net
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = self.net if self.pin is None else f"{self.net}->{self.pin[0]}[{self.pin[1]}]"
+        return f"{where}/sa{self.stuck_at}"
+
+
+def full_fault_list(netlist: Netlist) -> List[Fault]:
+    """All net faults plus all input-pin faults (the uncollapsed universe)."""
+    faults: List[Fault] = []
+    for net, gate in netlist.gates.items():
+        if gate.gtype is GateType.DFF:
+            continue  # scan cells themselves assumed fault-free (chain tested separately)
+        faults.append(Fault(net, 0))
+        faults.append(Fault(net, 1))
+    for net, gate in netlist.gates.items():
+        if not gate.gtype.is_combinational:
+            continue
+        for pos, src in enumerate(gate.fanins):
+            faults.append(Fault(src, 0, pin=(net, pos)))
+            faults.append(Fault(src, 1, pin=(net, pos)))
+    return faults
+
+
+def collapse_faults(netlist: Netlist) -> List[Fault]:
+    """Equivalence-collapsed fault list.
+
+    Keeps one representative per equivalence class, preferring net faults
+    over pin faults (net faults simulate faster).
+    """
+    fanout_counts: dict = {}
+    for gate in netlist.gates.values():
+        if not gate.gtype.is_combinational:
+            continue
+        for src in gate.fanins:
+            fanout_counts[src] = fanout_counts.get(src, 0) + 1
+
+    kept: List[Fault] = []
+    for net, gate in netlist.gates.items():
+        if gate.gtype is GateType.DFF:
+            continue
+        # Net faults always kept as class representatives.
+        kept.append(Fault(net, 0))
+        kept.append(Fault(net, 1))
+    for net, gate in netlist.gates.items():
+        if not gate.gtype.is_combinational:
+            continue
+        controlling = _controlling_value(gate.gtype)
+        for pos, src in enumerate(gate.fanins):
+            single_branch = fanout_counts.get(src, 0) == 1
+            for sa in (0, 1):
+                if single_branch:
+                    continue  # pin fault == stem fault on a single-fanout net
+                if gate.gtype in (GateType.BUF, GateType.NOT):
+                    continue  # equivalent to the output fault
+                if controlling is not None and sa == controlling:
+                    continue  # controlling-value input fault == output fault
+                kept.append(Fault(src, sa, pin=(net, pos)))
+    return kept
+
+
+def _controlling_value(gtype: GateType) -> Optional[int]:
+    if gtype in (GateType.AND, GateType.NAND):
+        return 0
+    if gtype in (GateType.OR, GateType.NOR):
+        return 1
+    return None
+
+
+def sample_faults(
+    faults: List[Fault], count: int, rng: np.random.Generator
+) -> List[Fault]:
+    """Uniform sample without replacement (the paper injects 500 faults per
+    circuit; smaller runs sample fewer)."""
+    if count >= len(faults):
+        return list(faults)
+    idx = rng.choice(len(faults), size=count, replace=False)
+    return [faults[i] for i in sorted(idx)]

@@ -1,0 +1,53 @@
+"""System-on-chip substrate: embedded cores, TestRail daisy-chain meta scan
+chains, and the two SOCs of the paper's evaluation."""
+
+from .core_wrapper import EmbeddedCore
+from .schedule import Phase, ScheduleDiagnosisResult, TestSchedule, diagnose_schedule
+from .socfile import (
+    D695_SOC_TEXT,
+    ModuleDescription,
+    SocDescription,
+    SocFormatError,
+    build_testrail_from_description,
+    d695_description,
+    load_soc,
+    parse_soc,
+    save_soc,
+    write_soc,
+)
+from .d695 import DEFAULT_TAM_WIDTH, build_d695_soc
+from .stitch import build_stitched_soc
+from .testrail import CellRef, TestRail
+from .wrapper import (
+    assignment_makespan,
+    lpt_assignment,
+    normalize_chain_lengths,
+    wrapper_segments,
+)
+
+__all__ = [
+    "CellRef",
+    "D695_SOC_TEXT",
+    "ModuleDescription",
+    "Phase",
+    "ScheduleDiagnosisResult",
+    "SocDescription",
+    "SocFormatError",
+    "TestSchedule",
+    "build_testrail_from_description",
+    "d695_description",
+    "diagnose_schedule",
+    "load_soc",
+    "parse_soc",
+    "save_soc",
+    "write_soc",
+    "DEFAULT_TAM_WIDTH",
+    "EmbeddedCore",
+    "TestRail",
+    "build_d695_soc",
+    "build_stitched_soc",
+    "assignment_makespan",
+    "lpt_assignment",
+    "normalize_chain_lengths",
+    "wrapper_segments",
+]

@@ -1,0 +1,97 @@
+"""Embedded core wrapper: a reusable module with internal scan cells.
+
+In the paper's SOC scenario each core is a full-scan ISCAS-89 circuit whose
+internal scan chain segments are threaded onto SOC-level meta scan chains
+(TestRail daisy-chain architecture [10]).  The wrapper owns the core's
+compiled circuit and pattern set and produces fault responses in *local*
+cell coordinates; the :class:`repro.soc.testrail.TestRail` maps those onto
+the meta chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..bist.patterns import fast_pattern_matrices
+from ..circuit.netlist import Netlist
+from ..sim.faults import Fault, collapse_faults, sample_faults
+from ..sim.faultsim import FaultResponse, FaultSimulator
+from ..sim.logicsim import CompiledCircuit
+
+
+class EmbeddedCore:
+    """One core of the SOC, with its own BIST pattern expansion.
+
+    The TestRail transports one shared pseudo-random stream, but because
+    each core's scan segment occupies a fixed slice of the meta chains, the
+    values any core receives are statistically independent pseudo-random
+    bits; modelling them as a per-core seeded stream is equivalent and lets
+    the cores simulate independently.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        num_patterns: int = 128,
+        pattern_seed: int = 0xACE1,
+    ):
+        self.netlist = netlist
+        self.name = netlist.name
+        self.compiled = CompiledCircuit(netlist)
+        self.num_patterns = num_patterns
+        pi_values, ff_values = fast_pattern_matrices(
+            self.compiled.num_inputs,
+            self.compiled.num_scan_cells,
+            num_patterns,
+            seed=pattern_seed ^ _name_seed(netlist.name),
+        )
+        self._good = self.compiled.simulate(pi_values, ff_values, num_patterns)
+        self._fault_simulator = FaultSimulator(self.compiled, self._good)
+        self._collapsed: Optional[List[Fault]] = None
+
+    @property
+    def num_cells(self) -> int:
+        return self.compiled.num_scan_cells
+
+    @property
+    def fault_simulator(self) -> FaultSimulator:
+        return self._fault_simulator
+
+    def collapsed_faults(self) -> List[Fault]:
+        if self._collapsed is None:
+            self._collapsed = collapse_faults(self.netlist)
+        return self._collapsed
+
+    def sample_fault_responses(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        detected_only: bool = True,
+    ) -> List[FaultResponse]:
+        """Inject ``count`` sampled stuck-at faults and return their error
+        matrices (local cell ids).  With ``detected_only`` the sample is
+        drawn until ``count`` detected faults are found or the collapsed
+        list is exhausted — mirroring the paper's "inject 500 single
+        stuck-at faults" protocol, where undetected faults contribute
+        nothing to DR."""
+        universe = list(self.collapsed_faults())
+        rng.shuffle(universe)
+        responses: List[FaultResponse] = []
+        for fault in universe:
+            response = self._fault_simulator.simulate_fault(fault)
+            if detected_only and not response.detected:
+                continue
+            responses.append(response)
+            if len(responses) >= count:
+                break
+        return responses
+
+
+def _name_seed(name: str) -> int:
+    value = 0
+    for ch in name:
+        value = (value * 131 + ord(ch)) & 0x7FFFFFFF
+    return value

@@ -1,0 +1,268 @@
+"""ITC'02-style SOC description files.
+
+The ITC'02 SOC Test Benchmarks [11] describe each system as a list of
+modules with their terminal counts, internal scan chains and test-pattern
+counts.  This module implements a reader/writer for a documented subset of
+that format — the fields fault-oriented experiments actually consume — plus
+an embedded description of the d695 variant the paper evaluates (only its
+full-scan ISCAS-89 modules; the combinational c-circuits carry no scan
+cells and are omitted, exactly as in the paper).
+
+Grammar (line-oriented, ``#`` comments)::
+
+    SocName d695
+    TotalModules 8
+    Module 0 s838
+      Inputs 34
+      Outputs 1
+      ScanChains 1 : 32
+      TestPatterns 75
+
+``ScanChains n : l1 l2 ... ln`` lists the module's internal scan chain
+lengths.  ``TestPatterns`` is the module's pattern budget, which drives
+the daisy-chain bypass schedule (:mod:`repro.soc.schedule`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+
+class SocFormatError(ValueError):
+    """Raised on malformed SOC description input."""
+
+
+@dataclass
+class ModuleDescription:
+    """One embedded module of the SOC."""
+
+    index: int
+    name: str
+    inputs: int = 0
+    outputs: int = 0
+    scan_chains: List[int] = field(default_factory=list)
+    test_patterns: int = 0
+
+    @property
+    def num_scan_cells(self) -> int:
+        return sum(self.scan_chains)
+
+
+@dataclass
+class SocDescription:
+    """A parsed SOC description."""
+
+    name: str
+    modules: List[ModuleDescription] = field(default_factory=list)
+
+    def module(self, name: str) -> ModuleDescription:
+        for mod in self.modules:
+            if mod.name == name:
+                return mod
+        raise KeyError(f"no module named {name!r} in SOC {self.name!r}")
+
+    @property
+    def total_scan_cells(self) -> int:
+        return sum(m.num_scan_cells for m in self.modules)
+
+    def pattern_budgets(self) -> Dict[str, int]:
+        return {m.name: m.test_patterns for m in self.modules}
+
+
+_MODULE_RE = re.compile(r"^Module\s+(\d+)\s+(\S+)$")
+_FIELD_RE = re.compile(r"^(\w+)\s+(.*)$")
+
+
+def parse_soc(text: str) -> SocDescription:
+    """Parse an ITC'02-style SOC description."""
+    name: Optional[str] = None
+    total: Optional[int] = None
+    modules: List[ModuleDescription] = []
+    current: Optional[ModuleDescription] = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        module_match = _MODULE_RE.match(line)
+        if module_match:
+            current = ModuleDescription(
+                index=int(module_match.group(1)), name=module_match.group(2)
+            )
+            modules.append(current)
+            continue
+        field_match = _FIELD_RE.match(line)
+        if not field_match:
+            raise SocFormatError(f"line {lineno}: cannot parse {raw.strip()!r}")
+        key, value = field_match.group(1), field_match.group(2).strip()
+        if key == "SocName":
+            name = value
+        elif key == "TotalModules":
+            total = _parse_int(value, lineno)
+        elif current is None:
+            raise SocFormatError(f"line {lineno}: field {key!r} outside a module")
+        elif key == "Inputs":
+            current.inputs = _parse_int(value, lineno)
+        elif key == "Outputs":
+            current.outputs = _parse_int(value, lineno)
+        elif key == "TestPatterns":
+            current.test_patterns = _parse_int(value, lineno)
+        elif key == "ScanChains":
+            current.scan_chains = _parse_scan_chains(value, lineno)
+        else:
+            raise SocFormatError(f"line {lineno}: unknown field {key!r}")
+
+    if name is None:
+        raise SocFormatError("missing SocName")
+    if total is not None and total != len(modules):
+        raise SocFormatError(
+            f"TotalModules says {total} but {len(modules)} modules defined"
+        )
+    indices = [m.index for m in modules]
+    if indices != list(range(len(modules))):
+        raise SocFormatError("module indices must be 0..n-1 in order")
+    return SocDescription(name=name, modules=modules)
+
+
+def _parse_int(value: str, lineno: int) -> int:
+    try:
+        parsed = int(value)
+    except ValueError as exc:
+        raise SocFormatError(f"line {lineno}: expected integer, got {value!r}") from exc
+    if parsed < 0:
+        raise SocFormatError(f"line {lineno}: negative value {parsed}")
+    return parsed
+
+
+def _parse_scan_chains(value: str, lineno: int) -> List[int]:
+    if ":" not in value:
+        raise SocFormatError(f"line {lineno}: ScanChains needs 'count : lengths'")
+    count_text, lengths_text = value.split(":", 1)
+    count = _parse_int(count_text.strip(), lineno)
+    lengths = [_parse_int(v, lineno) for v in lengths_text.split()]
+    if len(lengths) != count:
+        raise SocFormatError(
+            f"line {lineno}: ScanChains declares {count} chains but lists "
+            f"{len(lengths)} lengths"
+        )
+    return lengths
+
+
+def write_soc(desc: SocDescription) -> str:
+    """Serialize a description (round-trips with :func:`parse_soc`)."""
+    lines = [f"SocName {desc.name}", f"TotalModules {len(desc.modules)}"]
+    for mod in desc.modules:
+        lines.append(f"Module {mod.index} {mod.name}")
+        lines.append(f"  Inputs {mod.inputs}")
+        lines.append(f"  Outputs {mod.outputs}")
+        chain_text = " ".join(str(v) for v in mod.scan_chains)
+        lines.append(f"  ScanChains {len(mod.scan_chains)} : {chain_text}")
+        lines.append(f"  TestPatterns {mod.test_patterns}")
+    return "\n".join(lines) + "\n"
+
+
+def load_soc(path: Union[str, Path]) -> SocDescription:
+    return parse_soc(Path(path).read_text())
+
+
+def save_soc(desc: SocDescription, path: Union[str, Path]) -> None:
+    Path(path).write_text(write_soc(desc))
+
+
+#: Embedded description of the paper's d695 variant: the eight full-scan
+#: ISCAS-89 modules, daisy-chained in the order of the paper's Figure 4.
+#: Terminal/flip-flop counts are the published circuit statistics; the
+#: internal chain split and per-module pattern counts follow the ITC'02
+#: d695 test set's order of magnitude (pseudo-random BIST budgets).
+D695_SOC_TEXT = """
+# d695 variant (full-scan ISCAS-89 modules only), after ITC'02 [11]
+SocName d695
+TotalModules 8
+Module 0 s838
+  Inputs 34
+  Outputs 1
+  ScanChains 1 : 32
+  TestPatterns 75
+Module 1 s9234
+  Inputs 36
+  Outputs 39
+  ScanChains 4 : 54 53 52 52
+  TestPatterns 105
+Module 2 s5378
+  Inputs 35
+  Outputs 49
+  ScanChains 4 : 46 45 44 44
+  TestPatterns 97
+Module 3 s38584
+  Inputs 38
+  Outputs 304
+  ScanChains 8 : 179 179 179 179 178 178 177 177
+  TestPatterns 110
+Module 4 s13207
+  Inputs 62
+  Outputs 152
+  ScanChains 8 : 80 80 80 80 80 80 79 79
+  TestPatterns 121
+Module 5 s38417
+  Inputs 28
+  Outputs 106
+  ScanChains 8 : 205 205 205 205 204 204 204 204
+  TestPatterns 93
+Module 6 s35932
+  Inputs 35
+  Outputs 320
+  ScanChains 8 : 216 216 216 216 216 216 216 216
+  TestPatterns 64
+Module 7 s15850
+  Inputs 77
+  Outputs 150
+  ScanChains 8 : 67 67 67 67 67 67 66 66
+  TestPatterns 88
+"""
+
+
+def d695_description() -> SocDescription:
+    """The embedded d695-variant description."""
+    return parse_soc(D695_SOC_TEXT)
+
+
+def build_testrail_from_description(
+    desc: SocDescription,
+    tam_width: int = 8,
+    scale: Optional[float] = None,
+    pattern_seed: int = 0xACE1,
+):
+    """Instantiate a :class:`repro.soc.testrail.TestRail` plus the pattern
+    budgets for its bypass schedule from a parsed description.
+
+    Module names must exist in the circuit library; every core is simulated
+    for the *largest* module budget so any schedule over the description
+    can be sliced out of the simulated responses.  With ``scale`` set, the
+    budgets are left untouched (they are test-set properties, not circuit
+    sizes).
+    """
+    from ..circuit.library import get_circuit
+    from .core_wrapper import EmbeddedCore
+    from .testrail import TestRail
+
+    num_patterns = max((m.test_patterns for m in desc.modules), default=0)
+    if num_patterns == 0:
+        raise SocFormatError("description has no test patterns")
+    cores = [
+        EmbeddedCore(
+            get_circuit(mod.name, scale=scale),
+            num_patterns=num_patterns,
+            pattern_seed=pattern_seed,
+        )
+        for mod in desc.modules
+    ]
+    internal = {
+        mod.name: mod.scan_chains for mod in desc.modules if mod.scan_chains
+    }
+    rail = TestRail(
+        desc.name, cores, tam_width=tam_width, internal_chains=internal
+    )
+    return rail, desc.pattern_budgets()

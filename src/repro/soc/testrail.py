@@ -1,0 +1,157 @@
+"""TestRail / daisy-chain test access architecture (Marinissen et al. [10]).
+
+``W`` meta scan chains are threaded through the internal scan chains of the
+embedded cores in daisy-chain order: meta chain ``w`` consists of core 0's
+``w``-th segment, then core 1's, and so on.  Each core's cells are split
+into ``W`` balanced contiguous segments.  A single test session transports
+patterns to all cores and responses back through the meta chains; a core
+that runs out of patterns is bypassed (the bypass is irrelevant to
+diagnosis of captured responses and is modelled as the core simply
+contributing no further error events).
+
+The key structural consequence for diagnosis — the reason interval-based
+partitioning shines here — is that a faulty core's cells occupy one
+*contiguous* block of shift positions on every meta chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..bist.scan import ScanConfig
+from ..sim.faultsim import FaultResponse
+from .core_wrapper import EmbeddedCore
+
+
+@dataclass(frozen=True)
+class CellRef:
+    """A meta-chain cell identified by its core and local cell id."""
+
+    core_index: int
+    local_cell: int
+
+
+class TestRail:
+    """Daisy-chained meta scan chains over a list of embedded cores."""
+
+    def __init__(
+        self,
+        name: str,
+        cores: Sequence[EmbeddedCore],
+        tam_width: int = 1,
+        internal_chains: Optional[Dict[str, Sequence[int]]] = None,
+    ):
+        if tam_width < 1:
+            raise ValueError("tam_width must be positive")
+        if not cores:
+            raise ValueError("at least one core required")
+        self.name = name
+        self.cores: List[EmbeddedCore] = list(cores)
+        self.tam_width = tam_width
+
+        # Split each core's cells over the tam_width meta chains, then
+        # concatenate per chain in daisy order.  With declared internal
+        # chains the split follows the wrapper design (whole internal
+        # chains LPT-assigned to TAM lines); otherwise cells are divided
+        # into balanced contiguous segments.
+        chain_refs: List[List[CellRef]] = [[] for _ in range(tam_width)]
+        for core_index, core in enumerate(self.cores):
+            declared = (internal_chains or {}).get(core.name)
+            if declared is not None:
+                from .wrapper import normalize_chain_lengths, wrapper_segments
+
+                lengths = normalize_chain_lengths(list(declared), core.num_cells)
+                per_port = wrapper_segments(lengths, tam_width)
+                for w, runs in enumerate(per_port):
+                    for start, end in runs:
+                        chain_refs[w].extend(
+                            CellRef(core_index, local)
+                            for local in range(start, end)
+                        )
+            else:
+                segments = _balanced_segments(core.num_cells, tam_width)
+                for w, (start, end) in enumerate(segments):
+                    chain_refs[w].extend(
+                        CellRef(core_index, local) for local in range(start, end)
+                    )
+        self._chain_refs = chain_refs
+
+        # Global cell ids must be 0..N-1 for ScanConfig; assign them in
+        # chain-major, position-minor order.
+        self._ref_of_global: List[CellRef] = []
+        self._global_of_ref: Dict[CellRef, int] = {}
+        chains: List[List[int]] = []
+        for refs in chain_refs:
+            chain = []
+            for ref in refs:
+                gid = len(self._ref_of_global)
+                self._ref_of_global.append(ref)
+                self._global_of_ref[ref] = gid
+                chain.append(gid)
+            chains.append(chain)
+        self.scan_config = ScanConfig(chains)
+
+    # -- mapping -----------------------------------------------------------
+
+    @property
+    def num_cells(self) -> int:
+        return self.scan_config.num_cells
+
+    def global_cell(self, core_index: int, local_cell: int) -> int:
+        return self._global_of_ref[CellRef(core_index, local_cell)]
+
+    def owner(self, global_cell: int) -> CellRef:
+        return self._ref_of_global[global_cell]
+
+    def core_cells(self, core_index: int) -> List[int]:
+        """All global cell ids belonging to one core."""
+        return [
+            gid
+            for gid, ref in enumerate(self._ref_of_global)
+            if ref.core_index == core_index
+        ]
+
+    def core_position_range(self, core_index: int, chain: int) -> Tuple[int, int]:
+        """Half-open range of shift positions occupied by ``core_index`` on
+        ``chain`` (empty range if the core has no cells there)."""
+        refs = self._chain_refs[chain]
+        positions = [
+            pos for pos, ref in enumerate(refs) if ref.core_index == core_index
+        ]
+        if not positions:
+            return (0, 0)
+        return (min(positions), max(positions) + 1)
+
+    # -- responses ----------------------------------------------------------
+
+    def lift_response(self, core_index: int, response: FaultResponse) -> FaultResponse:
+        """Translate a core-local fault response into SOC-global cell ids."""
+        lifted = {
+            self.global_cell(core_index, cell): vec.copy()
+            for cell, vec in response.cell_errors.items()
+        }
+        return FaultResponse(response.fault, lifted, response.num_patterns)
+
+    def describe(self) -> str:
+        lines = [f"TestRail {self.name}: {self.tam_width} meta chain(s)"]
+        for w, refs in enumerate(self._chain_refs):
+            lines.append(f"  chain {w}: {len(refs)} cells")
+        for k, core in enumerate(self.cores):
+            lines.append(f"  core {k}: {core.name} ({core.num_cells} cells)")
+        return "\n".join(lines)
+
+
+def _balanced_segments(num_cells: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``range(num_cells)`` into ``parts`` contiguous nearly-equal
+    half-open segments (earlier segments get the remainder)."""
+    base, extra = divmod(num_cells, parts)
+    segments = []
+    start = 0
+    for w in range(parts):
+        size = base + (1 if w < extra else 0)
+        segments.append((start, start + size))
+        start += size
+    return segments

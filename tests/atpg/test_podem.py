@@ -1,0 +1,147 @@
+"""Tests for PODEM test generation, verified by fault simulation: every
+generated cube must actually detect its target fault."""
+
+import numpy as np
+import pytest
+
+from repro.atpg.podem import PodemEngine, atpg_campaign, cube_to_pattern
+from repro.circuit.bench import parse_bench
+from repro.sim.bitops import pack_bits, unpack_bits
+from repro.sim.faults import Fault, collapse_faults
+from repro.sim.faultsim import FaultSimulator
+from repro.sim.logicsim import CompiledCircuit
+
+
+def verify_cube(netlist, cube, fault, rng=None):
+    """Simulate the filled cube against the fault simulator: the fault must
+    produce at least one error at an observation point (scan cell or PO)."""
+    compiled = CompiledCircuit(netlist)
+    pi, ff = cube_to_pattern(cube, netlist, rng=rng)
+    pi_mat = np.vstack([pack_bits([pi[n]]) for n in netlist.inputs]) if netlist.inputs \
+        else np.zeros((0, 1), dtype=np.uint64)
+    ff_mat = (
+        np.vstack([pack_bits([ff[g.output]]) for g in netlist.flip_flops])
+        if netlist.flip_flops
+        else np.zeros((0, 1), dtype=np.uint64)
+    )
+    good = compiled.simulate(pi_mat, ff_mat, 1)
+    sim = FaultSimulator(compiled, good)
+    response = sim.simulate_fault(fault)
+    if response.detected:
+        return True
+    # The fault may only be observable at a primary output: re-simulate the
+    # faulty values by brute force and compare POs.
+    from tests.sim.test_faultsim import faulty_reference
+
+    assignment = {n: pi[n] for n in netlist.inputs}
+    assignment.update({g.output: ff[g.output] for g in netlist.flip_flops})
+    ref = faulty_reference(netlist, assignment, fault)
+    for po in netlist.outputs:
+        good_bit = unpack_bits(good.net(po), 1)[0]
+        if ref(po) != good_bit:
+            return True
+    return False
+
+
+SMALL = """
+INPUT(A)
+INPUT(B)
+INPUT(C)
+OUTPUT(Y)
+F0 = DFF(D0)
+N1 = AND(A, B)
+N2 = OR(N1, C)
+N3 = NOT(N2)
+D0 = XOR(N1, N3)
+Y = BUFF(N2)
+"""
+
+
+class TestSmallCircuit:
+    def setup_method(self):
+        self.net = parse_bench(SMALL, name="small")
+        self.engine = PodemEngine(self.net)
+
+    def test_generates_and_detects_easy_fault(self):
+        fault = Fault("N1", 0)
+        cube = self.engine.generate(fault)
+        assert cube is not None
+        assert verify_cube(self.net, cube, fault)
+
+    def test_detects_input_fault(self):
+        fault = Fault("A", 1)
+        cube = self.engine.generate(fault)
+        assert cube is not None
+        assert verify_cube(self.net, cube, fault)
+
+    def test_pin_fault(self):
+        fault = Fault("N1", 1, pin=("N2", 0))
+        cube = self.engine.generate(fault)
+        assert cube is not None
+        assert verify_cube(self.net, cube, fault)
+
+    def test_untestable_fault_returns_none(self):
+        # Redundant logic: Y = OR(A, NOT(A)) is constant 1; sa1 on it is
+        # untestable.
+        redundant = parse_bench(
+            """
+            INPUT(A)
+            OUTPUT(Y)
+            NA = NOT(A)
+            Y = OR(A, NA)
+            """,
+            name="red",
+        )
+        engine = PodemEngine(redundant)
+        assert engine.generate(Fault("Y", 1)) is None
+        # The complementary fault is testable.
+        cube = engine.generate(Fault("Y", 0))
+        assert cube is None or verify_cube(redundant, cube, Fault("Y", 0))
+        # sa0 on a constant-1 net IS testable (any input works).
+        assert engine.generate(Fault("Y", 0)) is not None
+
+
+class TestS27:
+    def test_full_campaign_on_s27(self, s27_netlist):
+        faults = collapse_faults(s27_netlist)
+        cubes, stats = atpg_campaign(s27_netlist, faults, backtrack_limit=100)
+        # s27 is fully testable: the vast majority of faults get cubes.
+        assert stats.detected >= int(0.9 * len(faults))
+        rng = np.random.default_rng(0)
+        for cube in cubes:
+            assert verify_cube(s27_netlist, cube, cube.fault, rng=rng), str(
+                cube.fault
+            )
+
+
+class TestGeneratedCircuit:
+    def test_campaign_on_generated_circuit(self, small_netlist):
+        faults = collapse_faults(small_netlist)
+        rng = np.random.default_rng(4)
+        picks = rng.choice(len(faults), size=25, replace=False)
+        subset = [faults[i] for i in picks]
+        cubes, stats = atpg_campaign(small_netlist, subset, backtrack_limit=150)
+        assert stats.detected + stats.untestable == len(subset)
+        assert stats.detected > 0
+        for cube in cubes[:10]:
+            assert verify_cube(small_netlist, cube, cube.fault, rng=rng), str(
+                cube.fault
+            )
+
+    def test_atpg_beats_short_random_sessions(self, small_netlist):
+        """PODEM should find tests for faults that 8 random patterns miss."""
+        from repro.bist.patterns import fast_pattern_matrices
+
+        compiled = CompiledCircuit(small_netlist)
+        pi, ff = fast_pattern_matrices(
+            compiled.num_inputs, compiled.num_scan_cells, 8, seed=1
+        )
+        good = compiled.simulate(pi, ff, 8)
+        sim = FaultSimulator(compiled, good)
+        faults = collapse_faults(small_netlist)
+        missed = [f for f in faults if not sim.simulate_fault(f).detected][:10]
+        assert missed, "expected some random-pattern misses"
+        cubes, stats = atpg_campaign(small_netlist, missed, backtrack_limit=300)
+        # Some of the missed faults are genuinely testable and PODEM finds
+        # them (scan-cell-unobservable ones may legitimately fail).
+        assert stats.detected >= 1

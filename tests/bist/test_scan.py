@@ -1,0 +1,105 @@
+"""Tests for scan-chain configuration and cell/position/cycle mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bist.scan import CellLocation, ScanConfig
+
+
+class TestConstruction:
+    def test_single_chain(self):
+        config = ScanConfig.single_chain(5)
+        assert config.num_chains == 1
+        assert config.num_cells == 5
+        assert config.max_length == 5
+        assert config.chains[0] == [0, 1, 2, 3, 4]
+
+    def test_balanced_exact(self):
+        config = ScanConfig.balanced(8, 4)
+        assert [len(c) for c in config.chains] == [2, 2, 2, 2]
+
+    def test_balanced_remainder_goes_to_early_chains(self):
+        config = ScanConfig.balanced(10, 4)
+        assert [len(c) for c in config.chains] == [3, 3, 2, 2]
+
+    def test_balanced_bad_chain_count(self):
+        with pytest.raises(ValueError):
+            ScanConfig.balanced(10, 0)
+
+    def test_empty_config_rejected(self):
+        with pytest.raises(ValueError):
+            ScanConfig([])
+
+    def test_duplicate_cell_rejected(self):
+        with pytest.raises(ValueError, match="more than one chain"):
+            ScanConfig([[0, 1], [1, 2]])
+
+    def test_non_contiguous_ids_rejected(self):
+        with pytest.raises(ValueError, match="0..num_cells-1"):
+            ScanConfig([[0, 2]])
+
+
+class TestMapping:
+    def test_location_round_trip(self):
+        config = ScanConfig([[3, 0, 4], [1, 2]])
+        for cell in range(5):
+            loc = config.location(cell)
+            assert config.chains[loc.chain][loc.position] == cell
+
+    def test_cells_at_position_ragged(self):
+        config = ScanConfig([[0, 1, 2], [3, 4]])
+        assert config.cells_at_position(0) == [0, 3]
+        assert config.cells_at_position(2) == [2]
+
+    def test_unload_cycle_is_position(self):
+        config = ScanConfig([[0, 1, 2], [3, 4]])
+        assert config.unload_cycle(0) == 0
+        assert config.unload_cycle(2) == 2
+        assert config.unload_cycle(4) == 1
+
+    def test_global_cycle(self):
+        config = ScanConfig([[0, 1, 2], [3, 4]])
+        assert config.max_length == 3
+        assert config.global_cycle(0, pattern=0) == 0
+        assert config.global_cycle(2, pattern=1) == 3 + 2
+        assert config.global_cycle(4, pattern=2) == 6 + 1
+
+    def test_total_cycles(self):
+        config = ScanConfig.single_chain(7)
+        assert config.total_cycles(10) == 70
+
+    def test_channel(self):
+        config = ScanConfig([[0], [1], [2]])
+        assert [config.channel(c) for c in range(3)] == [0, 1, 2]
+
+
+class TestGrids:
+    def test_presence_mask(self):
+        config = ScanConfig([[0, 1, 2], [3, 4]])
+        mask = config.presence_mask()
+        assert mask.shape == (2, 3)
+        assert mask.tolist() == [[True, True, True], [True, True, False]]
+
+    def test_cell_id_grid(self):
+        config = ScanConfig([[0, 1, 2], [3, 4]])
+        grid = config.cell_id_grid()
+        assert grid.tolist() == [[0, 1, 2], [3, 4, -1]]
+
+    def test_grid_consistent_with_location(self):
+        config = ScanConfig.balanced(23, 5)
+        grid = config.cell_id_grid()
+        for cell in range(23):
+            loc = config.location(cell)
+            assert grid[loc.chain, loc.position] == cell
+
+
+@settings(max_examples=25, deadline=None)
+@given(num_cells=st.integers(1, 200), num_chains=st.integers(1, 12))
+def test_balanced_covers_all_cells_once(num_cells, num_chains):
+    config = ScanConfig.balanced(num_cells, num_chains)
+    seen = [cell for chain in config.chains for cell in chain]
+    assert sorted(seen) == list(range(num_cells))
+    lengths = [len(c) for c in config.chains]
+    assert max(lengths) - min(lengths) <= 1

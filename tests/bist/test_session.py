@@ -1,0 +1,121 @@
+"""Tests for masked BIST session execution and event collection."""
+
+import numpy as np
+import pytest
+
+from repro.bist.misr import LinearCompactor
+from repro.bist.scan import ScanConfig
+from repro.bist.session import (
+    SessionOutcome,
+    collect_error_events,
+    run_partition_sessions,
+)
+from repro.sim.bitops import pack_bits
+from repro.sim.faults import Fault
+from repro.sim.faultsim import FaultResponse
+
+
+def make_response(cell_patterns, num_patterns=8):
+    """Response with errors at {cell: [patterns]}."""
+    cell_errors = {
+        cell: pack_bits([1 if p in pats else 0 for p in range(num_patterns)])
+        for cell, pats in cell_patterns.items()
+    }
+    return FaultResponse(Fault("X", 0), cell_errors, num_patterns)
+
+
+class TestCollectEvents:
+    def test_single_chain_events(self):
+        config = ScanConfig.single_chain(4)
+        response = make_response({2: [0, 3], 0: [1]}, num_patterns=4)
+        events = sorted(collect_error_events(response, config))
+        # (position, channel, global_cycle); cycle = pattern*4 + position.
+        assert events == [(0, 0, 4), (2, 0, 2), (2, 0, 14)]
+
+    def test_multi_chain_channels(self):
+        config = ScanConfig([[0, 1], [2, 3]])
+        response = make_response({1: [0], 3: [0]}, num_patterns=2)
+        events = sorted(collect_error_events(response, config))
+        assert events == [(1, 0, 1), (1, 1, 1)]
+
+    def test_no_errors(self):
+        config = ScanConfig.single_chain(4)
+        assert collect_error_events(make_response({}), config) == []
+
+
+class TestRunSessions:
+    def test_exact_mode_flags_groups_with_errors(self):
+        group_of = np.array([0, 0, 1, 1])
+        response = make_response({2: [0]}, num_patterns=2)
+        config = ScanConfig.single_chain(4)
+        events = collect_error_events(response, config)
+        outcome = run_partition_sessions(events, group_of, 2, 8, None)
+        assert outcome.failing_groups == [1]
+        assert outcome.signatures[0] == [0]
+        assert outcome.signatures[1] == [1]
+
+    def test_compactor_mode_consistent_with_exact(self, rng):
+        config = ScanConfig.single_chain(12)
+        cells = {int(c): [int(p) for p in rng.choice(8, 3, replace=False)]
+                 for c in rng.choice(12, 5, replace=False)}
+        response = make_response(cells, num_patterns=8)
+        events = collect_error_events(response, config)
+        group_of = rng.integers(0, 4, 12).astype(np.int32)
+        total = config.total_cycles(8)
+        exact = run_partition_sessions(events, group_of, 4, total, None)
+        real = run_partition_sessions(
+            events, group_of, 4, total, LinearCompactor(24, 1)
+        )
+        # With a 24-bit MISR aliasing is vanishingly unlikely here.
+        assert exact.failing_groups == real.failing_groups
+
+    def test_per_channel_signatures(self):
+        config = ScanConfig([[0, 1], [2, 3]])
+        response = make_response({0: [0], 3: [1]}, num_patterns=2)
+        events = collect_error_events(response, config)
+        group_of = np.array([0, 1])
+        outcome = run_partition_sessions(
+            events, group_of, 2, config.total_cycles(2), LinearCompactor(16, 2),
+            num_channels=2,
+        )
+        # Cell 0 = (chain 0, pos 0) -> group 0 channel 0;
+        # cell 3 = (chain 1, pos 1) -> group 1 channel 1.
+        assert outcome.signatures[0][0] != 0
+        assert outcome.signatures[0][1] == 0
+        assert outcome.signatures[1][0] == 0
+        assert outcome.signatures[1][1] != 0
+        assert outcome.failing_pairs == [(0, 0), (1, 1)]
+
+    def test_total_signature_invariant_across_partitions(self, rng):
+        """XOR of all group signatures equals the signature of the full
+        error stream, for every partition (MISR linearity)."""
+        config = ScanConfig.single_chain(20)
+        cells = {int(c): [int(p) for p in rng.choice(16, 4, replace=False)]
+                 for c in rng.choice(20, 7, replace=False)}
+        response = make_response(cells, num_patterns=16)
+        events = collect_error_events(response, config)
+        total = config.total_cycles(16)
+        compactor = LinearCompactor(16, 1)
+        full_sig = compactor.error_signature(
+            [(ch, cyc) for _pos, ch, cyc in events], total
+        )
+        for seed in range(5):
+            g = np.random.default_rng(seed).integers(0, 4, 20).astype(np.int32)
+            outcome = run_partition_sessions(events, g, 4, total, compactor)
+            combined = 0
+            for per_channel in outcome.signatures:
+                combined ^= per_channel[0]
+            assert combined == full_sig
+
+
+class TestSessionOutcome:
+    def test_combined_collapses_channels(self):
+        outcome = SessionOutcome([[1, 2], [0, 0], [3, 3]])
+        combined = outcome.combined()
+        assert combined.signatures == [[3], [0], [0]]
+        assert combined.failing_groups == [0]
+
+    def test_failing_matrix(self):
+        outcome = SessionOutcome([[0, 5], [0, 0]])
+        mat = outcome.failing_matrix(2)
+        assert mat.tolist() == [[False, True], [False, False]]

@@ -1,0 +1,89 @@
+"""Unit tests for the .bench reader/writer."""
+
+import pytest
+
+from repro.circuit.bench import (
+    BenchFormatError,
+    parse_bench,
+    write_bench,
+    load_bench,
+    save_bench,
+)
+from repro.circuit.library import S27_BENCH
+from repro.circuit.netlist import GateType
+
+
+class TestParse:
+    def test_parse_s27_counts(self):
+        net = parse_bench(S27_BENCH, name="s27")
+        assert net.stats() == {
+            "inputs": 4,
+            "outputs": 1,
+            "flip_flops": 3,
+            "gates": 10,
+        }
+
+    def test_parse_s27_structure(self):
+        net = parse_bench(S27_BENCH)
+        assert net.gates["G10"].gtype is GateType.NOR
+        assert net.gates["G10"].fanins == ("G14", "G11")
+        assert net.gates["G5"].gtype is GateType.DFF
+        assert net.gates["G5"].fanins == ("G10",)
+
+    def test_comments_and_blank_lines_ignored(self):
+        net = parse_bench("# hi\n\nINPUT(A)\nX = NOT(A)  # inline\nOUTPUT(X)\n")
+        assert net.inputs == ["A"]
+        assert net.gates["X"].gtype is GateType.NOT
+
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [("BUFF", GateType.BUF), ("BUF", GateType.BUF), ("INV", GateType.NOT),
+         ("not", GateType.NOT), ("nand", GateType.NAND)],
+    )
+    def test_type_aliases(self, alias, expected):
+        net = parse_bench(f"INPUT(A)\nX = {alias}(A)\nOUTPUT(X)\n")
+        assert net.gates["X"].gtype is expected
+
+    def test_unknown_gate_type_raises_with_line_number(self):
+        with pytest.raises(BenchFormatError, match="line 2"):
+            parse_bench("INPUT(A)\nX = FROB(A)\nOUTPUT(X)\n")
+
+    def test_garbage_line_raises(self):
+        with pytest.raises(BenchFormatError, match="cannot parse"):
+            parse_bench("INPUT(A)\nthis is not bench\n")
+
+    def test_empty_fanin_list_raises(self):
+        with pytest.raises(BenchFormatError, match="no fanins"):
+            parse_bench("INPUT(A)\nX = AND()\nOUTPUT(X)\n")
+
+    def test_validation_runs_on_parse(self):
+        with pytest.raises(Exception):
+            parse_bench("INPUT(A)\nOUTPUT(MISSING)\nX = NOT(A)\n")
+
+
+class TestRoundTrip:
+    def test_s27_round_trips(self):
+        original = parse_bench(S27_BENCH, name="s27")
+        text = write_bench(original)
+        reparsed = parse_bench(text, name="s27")
+        assert reparsed.inputs == original.inputs
+        assert reparsed.outputs == original.outputs
+        assert set(reparsed.gates) == set(original.gates)
+        for name, gate in original.gates.items():
+            assert reparsed.gates[name].gtype is gate.gtype
+            assert reparsed.gates[name].fanins == gate.fanins
+
+    def test_file_round_trip(self, tmp_path, s27_netlist):
+        path = tmp_path / "s27.bench"
+        save_bench(s27_netlist, path)
+        loaded = load_bench(path)
+        assert loaded.name == "s27"
+        assert loaded.stats() == s27_netlist.stats()
+
+    def test_generated_circuit_round_trips(self, small_netlist):
+        text = write_bench(small_netlist)
+        reparsed = parse_bench(text, name=small_netlist.name)
+        assert reparsed.stats() == small_netlist.stats()
+        assert [g.output for g in reparsed.flip_flops] == [
+            g.output for g in small_netlist.flip_flops
+        ]

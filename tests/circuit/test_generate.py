@@ -1,0 +1,138 @@
+"""Tests for the synthetic ISCAS-89-like circuit generator, including the
+clustering property the paper's experiments depend on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.generate import CircuitProfile, generate_circuit
+from repro.circuit.levelize import levelize, observing_cells
+
+
+def profile(**overrides):
+    base = dict(
+        name="gen-test",
+        num_inputs=5,
+        num_outputs=3,
+        num_flip_flops=20,
+        num_gates=120,
+        depth=6,
+    )
+    base.update(overrides)
+    return CircuitProfile(**base)
+
+
+class TestCounts:
+    def test_published_counts_honoured(self):
+        net = generate_circuit(profile(), seed=1)
+        stats = net.stats()
+        assert stats["inputs"] == 5
+        assert stats["outputs"] == 3
+        assert stats["flip_flops"] == 20
+        # Duplicate-PO buffers may add a handful of gates on top.
+        assert 120 <= stats["gates"] <= 120 + 3
+
+    def test_depth_bounded(self):
+        net = generate_circuit(profile(depth=4), seed=2)
+        assert max(levelize(net).values()) <= 4
+
+    @pytest.mark.parametrize("seed", [0, 1, 99])
+    def test_validates_for_many_seeds(self, seed):
+        generate_circuit(profile(), seed=seed).validate()
+
+
+class TestDeterminism:
+    def test_same_seed_same_circuit(self):
+        a = generate_circuit(profile(), seed=5)
+        b = generate_circuit(profile(), seed=5)
+        assert list(a.gates) == list(b.gates)
+        for name in a.gates:
+            assert a.gates[name].fanins == b.gates[name].fanins
+            assert a.gates[name].gtype == b.gates[name].gtype
+
+    def test_different_seed_different_circuit(self):
+        a = generate_circuit(profile(), seed=5)
+        b = generate_circuit(profile(), seed=6)
+        differs = any(
+            a.gates[n].fanins != b.gates[n].fanins
+            for n in a.gates
+            if n in b.gates
+        )
+        assert differs
+
+    def test_name_influences_structure(self):
+        a = generate_circuit(profile(name="alpha"), seed=5)
+        b = generate_circuit(profile(name="beta"), seed=5)
+        assert any(
+            a.gates[n].fanins != b.gates[n].fanins
+            for n in a.gates
+            if n in b.gates
+        )
+
+
+class TestScaled:
+    def test_scaled_preserves_minimums(self):
+        tiny = profile().scaled(0.01)
+        assert tiny.num_flip_flops >= 3
+        assert tiny.num_gates >= 8
+        generate_circuit(tiny, seed=0).validate()
+
+    def test_scaled_half(self):
+        half = profile(num_gates=200).scaled(0.5)
+        assert half.num_gates == 100
+        assert half.num_flip_flops == 10
+
+
+class TestClustering:
+    """The load-bearing property: fault cones observe clustered scan cells."""
+
+    def test_cones_are_localized(self):
+        prof = profile(num_flip_flops=60, num_gates=600, num_inputs=10, depth=8)
+        net = generate_circuit(prof, seed=3)
+        scan = [g.output for g in net.flip_flops]
+        rng = np.random.default_rng(0)
+        gate_nets = [n for n, g in net.gates.items() if g.gtype.is_combinational]
+        relative_spans = []
+        for idx in rng.choice(len(gate_nets), 40, replace=False):
+            cells = observing_cells(net, gate_nets[idx], scan)
+            if len(cells) >= 2:
+                relative_spans.append((max(cells) - min(cells) + 1) / len(scan))
+        assert relative_spans, "expected some multi-cell cones"
+        # Clustered: the typical cone covers a small fraction of the chain.
+        assert np.median(relative_spans) < 0.5
+        assert np.mean(relative_spans) < 0.6
+
+    def test_most_gates_observable(self):
+        prof = profile(num_flip_flops=40, num_gates=400, depth=8)
+        net = generate_circuit(prof, seed=4)
+        scan = [g.output for g in net.flip_flops]
+        gate_nets = [n for n, g in net.gates.items() if g.gtype.is_combinational]
+        observable = sum(
+            1 for n in gate_nets if observing_cells(net, n, scan)
+        )
+        # POs also observe some logic; require a solid majority to reach the
+        # scan chain.
+        assert observable / len(gate_nets) > 0.5
+
+    def test_scan_order_follows_locality_axis(self):
+        net = generate_circuit(profile(), seed=1)
+        names = [g.output for g in net.flip_flops]
+        assert names == [f"FF{i}" for i in range(20)]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_pi=st.integers(2, 8),
+    n_po=st.integers(1, 6),
+    n_ff=st.integers(3, 30),
+    n_gates=st.integers(10, 150),
+    seed=st.integers(0, 2**16),
+)
+def test_generator_always_produces_valid_netlists(n_pi, n_po, n_ff, n_gates, seed):
+    prof = CircuitProfile("hyp", n_pi, n_po, n_ff, n_gates, depth=5)
+    net = generate_circuit(prof, seed=seed)
+    net.validate()
+    assert net.num_flip_flops == n_ff
+    assert len(net.inputs) == n_pi
+    assert len(net.outputs) == n_po

@@ -1,0 +1,76 @@
+"""Tests for the benchmark registry."""
+
+import pytest
+
+from repro.circuit.library import (
+    D695_MODULES,
+    PROFILES,
+    SIX_LARGEST,
+    clear_cache,
+    get_circuit,
+)
+
+
+class TestRegistry:
+    def test_six_largest_are_registered(self):
+        for name in SIX_LARGEST:
+            assert name in PROFILES
+
+    def test_d695_modules_are_registered(self):
+        for name in D695_MODULES:
+            assert name in PROFILES
+
+    def test_six_largest_are_actually_the_largest(self):
+        largest = sorted(
+            PROFILES.values(), key=lambda p: p.num_gates, reverse=True
+        )[:6]
+        assert {p.name for p in largest} == set(SIX_LARGEST)
+
+    @pytest.mark.parametrize(
+        "name,ff", [("s953", 29), ("s838", 32), ("s5378", 179), ("s9234", 211)]
+    )
+    def test_published_flip_flop_counts(self, name, ff):
+        assert PROFILES[name].num_flip_flops == ff
+
+
+class TestGetCircuit:
+    def test_s27_is_the_real_netlist(self):
+        s27 = get_circuit("s27")
+        assert s27.stats() == {
+            "inputs": 4,
+            "outputs": 1,
+            "flip_flops": 3,
+            "gates": 10,
+        }
+
+    def test_s27_cannot_be_scaled(self):
+        with pytest.raises(ValueError):
+            get_circuit("s27", scale=0.5)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_circuit("s99999")
+
+    def test_memoization_returns_same_object(self):
+        a = get_circuit("s953")
+        b = get_circuit("s953")
+        assert a is b
+
+    def test_clear_cache(self):
+        a = get_circuit("s953", scale=0.3)
+        clear_cache()
+        b = get_circuit("s953", scale=0.3)
+        assert a is not b
+        assert a.stats() == b.stats()
+
+    def test_scaled_circuit_smaller(self):
+        full = get_circuit("s953")
+        small = get_circuit("s953", scale=0.3)
+        assert small.num_flip_flops < full.num_flip_flops
+
+    def test_seed_changes_circuit(self):
+        a = get_circuit("s953", seed=0)
+        b = get_circuit("s953", seed=1)
+        assert any(
+            a.gates[n].fanins != b.gates[n].fanins for n in a.gates if n in b.gates
+        )

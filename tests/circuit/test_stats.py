@@ -1,0 +1,68 @@
+"""Tests for structural statistics."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.stats import compare_stats, structural_stats
+
+
+class TestStructuralStats:
+    def test_counts_match_netlist(self, s27_netlist):
+        stats = structural_stats(s27_netlist)
+        assert stats.counts == s27_netlist.stats()
+        assert sum(stats.gate_mix.values()) == s27_netlist.num_combinational_gates
+        assert sum(stats.fanin_histogram.values()) == (
+            s27_netlist.num_combinational_gates
+        )
+
+    def test_s27_known_values(self, s27_netlist):
+        stats = structural_stats(s27_netlist)
+        assert stats.gate_mix["NOR"] == 4
+        assert stats.gate_mix["NOT"] == 2
+        assert stats.max_level >= 3
+        assert stats.max_fanout >= 2
+
+    def test_cone_sampling(self, small_netlist):
+        stats = structural_stats(
+            small_netlist, sample_cones=30, rng=np.random.default_rng(0)
+        )
+        assert stats.mean_cone_size is not None
+        assert stats.mean_cone_size >= 1.0
+        assert 0.0 <= stats.unobservable_fraction <= 1.0
+        assert "sampled cones" in stats.render()
+
+    def test_no_sampling_leaves_cone_fields_none(self, s27_netlist):
+        stats = structural_stats(s27_netlist)
+        assert stats.mean_cone_size is None
+        assert "sampled cones" not in stats.render()
+
+    def test_render_mentions_counts(self, s27_netlist):
+        text = structural_stats(s27_netlist).render()
+        assert "FF=3" in text
+        assert "fanout" in text
+
+    def test_compare_table(self, s27_netlist, small_netlist):
+        stats = [
+            structural_stats(s27_netlist, sample_cones=5),
+            structural_stats(small_netlist, sample_cones=5),
+        ]
+        table = compare_stats(stats)
+        assert "s27" in table
+        assert small_netlist.name in table
+
+
+class TestLargeProfiles:
+    @pytest.mark.parametrize("name", ["s35932", "s38417", "s38584"])
+    def test_large_stand_ins_have_published_counts(self, name):
+        from repro.circuit.library import PROFILES, get_circuit
+
+        net = get_circuit(name)
+        profile = PROFILES[name]
+        stats = structural_stats(net)
+        assert stats.counts["flip_flops"] == profile.num_flip_flops
+        assert stats.counts["inputs"] == profile.num_inputs
+        assert stats.counts["outputs"] == profile.num_outputs
+        assert profile.num_gates <= stats.counts["gates"] <= (
+            profile.num_gates + profile.num_outputs
+        )
+        assert stats.max_level <= profile.depth + 1

@@ -1,0 +1,84 @@
+"""Shared fixtures: small circuits, compiled simulators, fault workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bist.patterns import fast_pattern_matrices
+from repro.circuit.bench import parse_bench
+from repro.circuit.generate import CircuitProfile, generate_circuit
+from repro.circuit.library import S27_BENCH
+from repro.sim.logicsim import CompiledCircuit
+
+#: A tiny hand-written full-scan circuit used across unit tests:
+#: 2 PIs, 3 scan cells, a few gates of different types.
+TINY_BENCH = """
+# tiny
+INPUT(A)
+INPUT(B)
+OUTPUT(OUT)
+F0 = DFF(D0)
+F1 = DFF(D1)
+F2 = DFF(D2)
+N1 = AND(A, F0)
+N2 = XOR(N1, F1)
+N3 = NOT(B)
+D0 = OR(N2, N3)
+D1 = NAND(N1, F2)
+D2 = NOR(A, N2)
+OUT = BUFF(N2)
+"""
+
+
+@pytest.fixture(scope="session")
+def tiny_netlist():
+    return parse_bench(TINY_BENCH, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def s27_netlist():
+    return parse_bench(S27_BENCH, name="s27")
+
+
+@pytest.fixture(scope="session")
+def s27_compiled(s27_netlist):
+    return CompiledCircuit(s27_netlist)
+
+
+@pytest.fixture(scope="session")
+def small_profile():
+    """A generated circuit small enough for exhaustive checks but large
+    enough to have interesting fault cones."""
+    return CircuitProfile(
+        name="unit-small",
+        num_inputs=6,
+        num_outputs=4,
+        num_flip_flops=24,
+        num_gates=160,
+        depth=6,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_netlist(small_profile):
+    return generate_circuit(small_profile, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_compiled(small_netlist):
+    return CompiledCircuit(small_netlist)
+
+
+@pytest.fixture(scope="session")
+def small_good(small_compiled):
+    num_patterns = 48
+    pi, ff = fast_pattern_matrices(
+        small_compiled.num_inputs, small_compiled.num_scan_cells, num_patterns, seed=3
+    )
+    return small_compiled.simulate(pi, ff, num_patterns)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,91 @@
+"""Tests for the adaptive binary-search baseline ([6])."""
+
+import numpy as np
+import pytest
+
+from repro.bist.misr import LinearCompactor
+from repro.bist.scan import ScanConfig
+from repro.core.binary_search import binary_search_diagnose
+from repro.sim.bitops import pack_bits
+from repro.sim.faults import Fault
+from repro.sim.faultsim import FaultResponse
+
+
+def make_response(cell_patterns, num_patterns=8):
+    cell_errors = {
+        cell: pack_bits([1 if p in pats else 0 for p in range(num_patterns)])
+        for cell, pats in cell_patterns.items()
+    }
+    return FaultResponse(Fault("X", 0), cell_errors, num_patterns)
+
+
+class TestIsolation:
+    def test_single_failing_cell_isolated_exactly(self):
+        config = ScanConfig.single_chain(64)
+        response = make_response({37: [2]})
+        result = binary_search_diagnose(response, config)
+        assert result.candidate_cells == {37}
+        assert result.sound
+
+    def test_multiple_failing_cells(self, rng):
+        config = ScanConfig.single_chain(100)
+        failing = {int(c) for c in rng.choice(100, 5, replace=False)}
+        response = make_response({c: [0] for c in failing})
+        result = binary_search_diagnose(response, config)
+        assert result.candidate_cells == failing
+
+    def test_undetected_fault(self):
+        config = ScanConfig.single_chain(16)
+        result = binary_search_diagnose(make_response({}), config)
+        assert result.candidate_cells == set()
+        assert result.sessions_used == 1  # the root region check
+
+    def test_session_count_logarithmic_for_single_fail(self):
+        config = ScanConfig.single_chain(1024)
+        response = make_response({500: [0]})
+        result = binary_search_diagnose(response, config)
+        # Root + 2 sessions per level on the failing path, some passing
+        # siblings: well under exhaustive (1024) and over log2(1024).
+        assert 10 <= result.sessions_used <= 2 * 11 + 1
+
+    def test_min_region_stops_early(self):
+        config = ScanConfig.single_chain(64)
+        response = make_response({10: [0]})
+        coarse = binary_search_diagnose(response, config, min_region=8)
+        assert 10 in coarse.candidate_cells
+        assert len(coarse.candidate_cells) <= 8
+        assert coarse.sessions_used < binary_search_diagnose(
+            response, config
+        ).sessions_used
+
+
+class TestBudget:
+    def test_budget_keeps_open_regions_as_candidates(self):
+        config = ScanConfig.single_chain(64)
+        response = make_response({10: [0]})
+        result = binary_search_diagnose(response, config, session_budget=3)
+        assert result.sound
+        assert len(result.candidate_cells) > 1
+
+
+class TestWithCompactor:
+    def test_compactor_agrees_with_exact(self, rng):
+        config = ScanConfig.single_chain(48)
+        response = make_response(
+            {int(c): [int(rng.integers(0, 8))]
+             for c in rng.choice(48, 3, replace=False)}
+        )
+        exact = binary_search_diagnose(response, config)
+        real = binary_search_diagnose(
+            response, config, compactor=LinearCompactor(24, 1)
+        )
+        assert exact.candidate_cells == real.candidate_cells
+
+    def test_multi_chain(self):
+        config = ScanConfig.balanced(32, 4)
+        response = make_response({17: [0]})
+        result = binary_search_diagnose(response, config)
+        # Binary search over positions cannot separate chains: the whole
+        # position column remains.
+        position = config.location(17).position
+        assert result.candidate_cells == set(config.cells_at_position(position))

@@ -1,0 +1,46 @@
+"""Tests for the chain-map visualization."""
+
+from repro.bist.scan import ScanConfig
+from repro.core.chainmap import chain_map, legend
+from repro.core.diagnosis import DiagnosisResult
+
+
+def make_result(actual, candidates):
+    return DiagnosisResult(
+        actual_cells=set(actual),
+        candidate_cells=set(candidates),
+        outcomes=[],
+        partitions=[],
+    )
+
+
+class TestChainMap:
+    def test_glyph_semantics(self):
+        config = ScanConfig.single_chain(4)
+        result = make_result({0, 1}, {1, 2})
+        text = chain_map(result, config)
+        # cell0 failing+pruned '!', cell1 failing+candidate '#',
+        # cell2 false candidate '+', cell3 exonerated '.'
+        assert "|!#+.|" in text
+        assert "UNSOUND" in text
+
+    def test_sound_summary(self):
+        config = ScanConfig.single_chain(3)
+        text = chain_map(make_result({1}, {1, 2}), config)
+        assert "sound" in text and "UNSOUND" not in text
+
+    def test_multi_chain_rows(self):
+        config = ScanConfig([[0, 1], [2, 3]])
+        text = chain_map(make_result({3}, {3}), config)
+        assert "chain 0" in text and "chain 1" in text
+
+    def test_wrapping(self):
+        config = ScanConfig.single_chain(100)
+        text = chain_map(make_result(set(), set()), config, width=40)
+        body_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(body_lines) == 3  # 40 + 40 + 20
+
+    def test_legend_mentions_glyphs(self):
+        text = legend()
+        for glyph in "#!+.":
+            assert glyph in text

@@ -1,0 +1,178 @@
+"""Tests for the diagnosis engine: soundness, monotonicity, DR metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bist.misr import LinearCompactor
+from repro.bist.scan import ScanConfig
+from repro.core.diagnosis import (
+    DiagnosisResult,
+    diagnose,
+    diagnostic_resolution,
+    dr_by_partition_count,
+    partitions_to_reach_dr,
+)
+from repro.core.two_step import make_partitioner
+from repro.sim.bitops import pack_bits
+from repro.sim.faults import Fault
+from repro.sim.faultsim import FaultResponse
+
+
+def make_response(cell_patterns, num_patterns=8):
+    cell_errors = {
+        cell: pack_bits([1 if p in pats else 0 for p in range(num_patterns)])
+        for cell, pats in cell_patterns.items()
+    }
+    return FaultResponse(Fault("X", 0), cell_errors, num_patterns)
+
+
+def partitions_for(scheme, length, groups, count):
+    return make_partitioner(scheme, length, groups).partitions(count)
+
+
+class TestSoundness:
+    """Every truly failing cell stays a candidate (exact comparison)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        scheme=st.sampled_from(["random", "interval", "two-step", "deterministic"]),
+        length=st.integers(10, 120),
+        seed=st.integers(0, 2**16),
+        num_partitions=st.integers(1, 6),
+    )
+    def test_exact_mode_never_misses(self, scheme, length, seed, num_partitions):
+        rng = np.random.default_rng(seed)
+        config = ScanConfig.single_chain(length)
+        n_fail = int(rng.integers(1, min(8, length)))
+        failing = rng.choice(length, n_fail, replace=False)
+        response = make_response(
+            {int(c): [int(rng.integers(0, 8))] for c in failing}
+        )
+        parts = partitions_for(scheme, length, 4, num_partitions)
+        result = diagnose(response, config, parts, compactor=None)
+        assert result.sound
+        assert result.detected
+
+    def test_multi_chain_soundness(self, rng):
+        config = ScanConfig.balanced(60, 4)
+        response = make_response({3: [0], 47: [2], 21: [5]})
+        parts = partitions_for("two-step", config.max_length, 4, 4)
+        result = diagnose(response, config, parts, compactor=None)
+        assert result.sound
+
+
+class TestMonotonicity:
+    def test_candidate_history_weakly_decreasing(self, rng):
+        config = ScanConfig.single_chain(100)
+        response = make_response(
+            {int(c): [0, 3] for c in rng.choice(100, 5, replace=False)}
+        )
+        parts = partitions_for("two-step", 100, 8, 6)
+        result = diagnose(response, config, parts, compactor=None)
+        history = result.candidate_history
+        assert all(a >= b for a, b in zip(history, history[1:]))
+        assert history[-1] == len(result.candidate_cells)
+
+
+class TestUndetected:
+    def test_no_errors_no_candidates(self):
+        config = ScanConfig.single_chain(20)
+        response = make_response({})
+        parts = partitions_for("random", 20, 4, 3)
+        result = diagnose(response, config, parts, compactor=None)
+        assert not result.detected
+        assert result.candidate_cells == set()
+
+
+class TestChannelResolution:
+    def test_column_cells_inseparable_without_channel_resolution(self):
+        config = ScanConfig([[0, 1], [2, 3]])
+        response = make_response({1: [0]})
+        parts = partitions_for("random", 2, 2, 4)
+        coarse = diagnose(
+            response, config, parts, compactor=None, channel_resolution=False
+        )
+        fine = diagnose(response, config, parts, compactor=None)
+        # Position 1 holds cells 1 and 3; the combined readout keeps both.
+        assert coarse.candidate_cells == {1, 3}
+        assert fine.candidate_cells == {1}
+
+    def test_channel_resolution_is_never_coarser(self, rng):
+        config = ScanConfig.balanced(40, 4)
+        response = make_response(
+            {int(c): [1] for c in rng.choice(40, 4, replace=False)}
+        )
+        parts = partitions_for("two-step", config.max_length, 4, 3)
+        fine = diagnose(response, config, parts, compactor=None)
+        coarse = diagnose(
+            response, config, parts, compactor=None, channel_resolution=False
+        )
+        assert fine.candidate_cells <= coarse.candidate_cells
+
+
+class TestWithCompactor:
+    def test_agrees_with_exact_mode_at_width_24(self, rng):
+        config = ScanConfig.single_chain(64)
+        response = make_response(
+            {int(c): [int(p) for p in rng.choice(8, 2, replace=False)]
+             for c in rng.choice(64, 6, replace=False)}
+        )
+        parts = partitions_for("two-step", 64, 8, 4)
+        exact = diagnose(response, config, parts, compactor=None)
+        real = diagnose(response, config, parts, LinearCompactor(24, 1))
+        assert exact.candidate_cells == real.candidate_cells
+
+
+class TestErrors:
+    def test_partition_length_mismatch(self):
+        config = ScanConfig.single_chain(10)
+        parts = partitions_for("random", 12, 4, 1)
+        with pytest.raises(ValueError, match="partition length"):
+            diagnose(make_response({1: [0]}), config, parts)
+
+
+class TestMetrics:
+    def make_result(self, actual, candidates, history=None):
+        return DiagnosisResult(
+            actual_cells=set(actual),
+            candidate_cells=set(candidates),
+            outcomes=[],
+            partitions=[],
+            candidate_history=history or [len(candidates)],
+        )
+
+    def test_dr_zero_when_perfect(self):
+        results = [self.make_result({1, 2}, {1, 2})]
+        assert diagnostic_resolution(results) == 0.0
+
+    def test_dr_formula(self):
+        results = [
+            self.make_result({1}, {1, 2, 3}),  # 3 candidates, 1 actual
+            self.make_result({4, 5}, {4, 5, 6}),  # 3 candidates, 2 actual
+        ]
+        # (6 - 3) / 3 = 1.0
+        assert diagnostic_resolution(results) == pytest.approx(1.0)
+
+    def test_undetected_faults_ignored(self):
+        results = [
+            self.make_result({1}, {1}),
+            self.make_result(set(), set()),
+        ]
+        assert diagnostic_resolution(results) == 0.0
+
+    def test_all_undetected_raises(self):
+        with pytest.raises(ValueError):
+            diagnostic_resolution([self.make_result(set(), set())])
+
+    def test_dr_by_partition_count(self):
+        results = [self.make_result({1}, {1}, history=[5, 3, 1])]
+        sweep = dr_by_partition_count(results, 3)
+        assert sweep == [4.0, 2.0, 0.0]
+
+    def test_partitions_to_reach_dr(self):
+        results = [self.make_result({1}, {1}, history=[5, 3, 1])]
+        assert partitions_to_reach_dr(results, 2.0, 3) == 2
+        assert partitions_to_reach_dr(results, 0.0, 3) == 3
+        assert partitions_to_reach_dr(results, -1.0, 3) is None

@@ -1,0 +1,75 @@
+"""Tests for scan-chain reordering utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bist.scan import ScanConfig
+from repro.core.ordering import (
+    interleaved_scan_order,
+    permuted_scan_config,
+    random_scan_order,
+    response_span,
+    reversed_scan_order,
+)
+from repro.sim.bitops import pack_bits
+from repro.sim.faults import Fault
+from repro.sim.faultsim import FaultResponse
+
+
+def response_at(cells):
+    return FaultResponse(
+        Fault("X", 0), {c: pack_bits([1]) for c in cells}, 1
+    )
+
+
+class TestPermutations:
+    def test_identity(self):
+        config = ScanConfig.balanced(10, 2)
+        same = permuted_scan_config(config, np.arange(10))
+        assert same.chains == config.chains
+
+    def test_cells_preserved(self, rng):
+        config = ScanConfig.balanced(20, 3)
+        shuffled = random_scan_order(config, rng)
+        assert sorted(c for ch in shuffled.chains for c in ch) == list(range(20))
+        assert [len(c) for c in shuffled.chains] == [len(c) for c in config.chains]
+
+    def test_bad_permutation_rejected(self):
+        config = ScanConfig.single_chain(4)
+        with pytest.raises(ValueError):
+            permuted_scan_config(config, np.array([0, 0, 1, 2]))
+
+    def test_reversed(self):
+        config = ScanConfig([[0, 1, 2], [3, 4]])
+        rev = reversed_scan_order(config)
+        assert rev.chains == [[2, 1, 0], [4, 3]]
+
+    def test_interleaved(self):
+        config = ScanConfig.single_chain(6)
+        inter = interleaved_scan_order(config, 2)
+        assert inter.chains == [[0, 2, 4, 1, 3, 5]]
+        with pytest.raises(ValueError):
+            interleaved_scan_order(config, 0)
+
+
+class TestResponseSpan:
+    def test_span_in_positions(self):
+        config = ScanConfig.single_chain(10)
+        assert response_span(response_at([2, 5]), config) == 4
+
+    def test_no_errors(self):
+        config = ScanConfig.single_chain(10)
+        assert response_span(response_at([]), config) == 0
+
+    def test_reversal_preserves_span(self, rng):
+        config = ScanConfig.single_chain(30)
+        response = response_at([4, 9, 11])
+        rev = reversed_scan_order(config)
+        assert response_span(response, config) == response_span(response, rev)
+
+    def test_random_order_typically_grows_clustered_span(self, rng):
+        config = ScanConfig.single_chain(200)
+        response = response_at([50, 51, 52, 53])
+        shuffled = random_scan_order(config, rng)
+        assert response_span(response, config) == 4
+        assert response_span(response, shuffled) > 4

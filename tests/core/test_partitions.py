@@ -1,0 +1,107 @@
+"""Tests for the partition abstraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitions import (
+    Partition,
+    PartitionError,
+    candidate_positions,
+    validate_partition_set,
+)
+
+
+class TestValidation:
+    def test_valid(self):
+        part = Partition(np.array([0, 1, 0, 2]), 3)
+        assert part.length == 4
+        assert part.num_groups == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition(np.array([], dtype=np.int32), 1)
+
+    def test_out_of_range_group(self):
+        with pytest.raises(PartitionError):
+            Partition(np.array([0, 3]), 3)
+
+    def test_negative_group(self):
+        with pytest.raises(PartitionError):
+            Partition(np.array([0, -1]), 2)
+
+    def test_zero_groups(self):
+        with pytest.raises(PartitionError):
+            Partition(np.array([0]), 0)
+
+    def test_2d_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition(np.zeros((2, 2)), 1)
+
+
+class TestQueries:
+    def test_members(self):
+        part = Partition(np.array([0, 1, 0, 2, 1]), 3)
+        assert part.members(0).tolist() == [0, 2]
+        assert part.members(1).tolist() == [1, 4]
+        assert part.members(2).tolist() == [3]
+
+    def test_group_sizes_with_empty_group(self):
+        part = Partition(np.array([0, 0, 2]), 4)
+        assert part.group_sizes() == [2, 0, 1, 0]
+
+    def test_is_interval_partition(self):
+        assert Partition(np.array([0, 0, 1, 2, 2]), 3).is_interval_partition()
+        assert not Partition(np.array([0, 1, 0]), 2).is_interval_partition()
+        # Empty trailing groups are still intervals.
+        assert Partition(np.array([0, 0, 1]), 5).is_interval_partition()
+
+    def test_as_intervals(self):
+        part = Partition(np.array([0, 0, 1, 1, 1, 3]), 4)
+        assert part.as_intervals() == [(0, 0, 2), (1, 2, 5), (3, 5, 6)]
+
+
+class TestPartitionSet:
+    def test_lengths_must_match(self):
+        a = Partition(np.array([0, 1]), 2)
+        b = Partition(np.array([0, 1, 0]), 2)
+        with pytest.raises(PartitionError):
+            validate_partition_set([a, b])
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(PartitionError):
+            validate_partition_set([])
+
+
+class TestCandidatePositions:
+    def test_intersection(self):
+        p1 = Partition(np.array([0, 0, 1, 1]), 2)
+        p2 = Partition(np.array([0, 1, 0, 1]), 2)
+        mask = candidate_positions([p1, p2], [[0], [1]])
+        # Survives: group 0 of p1 (positions 0,1) AND group 1 of p2 (1,3).
+        assert mask.tolist() == [False, True, False, False]
+
+    def test_no_failing_groups_empties_candidates(self):
+        p1 = Partition(np.array([0, 1]), 2)
+        mask = candidate_positions([p1], [[]])
+        assert not mask.any()
+
+    def test_misaligned_failing_groups(self):
+        p1 = Partition(np.array([0, 1]), 2)
+        with pytest.raises(PartitionError):
+            candidate_positions([p1], [[0], [1]])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    length=st.integers(1, 80),
+    num_groups=st.integers(1, 8),
+    seed=st.integers(0, 2**16),
+)
+def test_groups_partition_the_positions(length, num_groups, seed):
+    group_of = np.random.default_rng(seed).integers(0, num_groups, length)
+    part = Partition(group_of, num_groups)
+    union = np.concatenate([part.members(g) for g in range(num_groups)])
+    assert sorted(union.tolist()) == list(range(length))
+    assert sum(part.group_sizes()) == length

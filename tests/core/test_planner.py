@@ -1,0 +1,164 @@
+"""Tests for the analytic campaign planner, including model-vs-simulation
+validation under the model's own assumptions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bist.scan import ScanConfig
+from repro.core.diagnosis import diagnose
+from repro.core.planner import (
+    CampaignPlan,
+    expected_dr,
+    group_failure_probability,
+    partitions_needed,
+    plan_campaign,
+)
+from repro.core.random_selection import RandomSelectionPartitioner
+from repro.sim.error_injection import inject_random_errors
+
+
+class TestGroupFailureProbability:
+    def test_zero_failing_cells(self):
+        assert group_failure_probability(8, 0) == 0.0
+
+    def test_one_failing_cell(self):
+        assert group_failure_probability(8, 1) == pytest.approx(1 / 8)
+
+    def test_many_failing_cells_saturates(self):
+        assert group_failure_probability(4, 1000) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            group_failure_probability(0, 1)
+        with pytest.raises(ValueError):
+            group_failure_probability(4, -1)
+
+
+class TestExpectedDr:
+    def test_monotone_in_partitions(self):
+        values = [expected_dr(200, 3, 8, k) for k in range(1, 8)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_groups(self):
+        values = [expected_dr(200, 3, b, 4) for b in (4, 8, 16, 32)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_dr(0, 1, 4, 1)
+        with pytest.raises(ValueError):
+            expected_dr(5, 6, 4, 1)
+
+
+class TestPartitionsNeeded:
+    def test_consistent_with_expected_dr(self):
+        k = partitions_needed(500, 4, 16, target_dr=0.5)
+        assert k is not None
+        assert expected_dr(500, 4, 16, k) <= 0.5
+        if k > 1:
+            assert expected_dr(500, 4, 16, k - 1) > 0.5
+
+    def test_unreachable_returns_none(self):
+        # With massive error multiplicity every group always fails (the
+        # failure probability rounds to 1.0) and no pruning ever happens.
+        assert partitions_needed(1000, 500, 4, 0.001) is None
+
+    def test_all_cells_failing_is_trivially_met(self):
+        # DR is 0 by definition when every cell fails: one partition does.
+        assert partitions_needed(100, 100, 4, 0.5) == 1
+
+    def test_cap_respected(self):
+        assert partitions_needed(10**6, 1, 2, 1e-9, max_partitions=5) is None
+
+
+class TestPlanCampaign:
+    def test_plan_meets_target(self):
+        plan = plan_campaign(6173, 5, target_dr=0.5)
+        assert plan is not None
+        assert plan.expected_dr <= 0.5
+        assert plan.num_sessions == plan.num_groups * plan.num_partitions
+
+    def test_cheapest_among_choices(self):
+        plan = plan_campaign(500, 3, target_dr=0.2, group_choices=(4, 8, 16))
+        for b in (4, 8, 16):
+            k = partitions_needed(500, 3, b, 0.2)
+            if k is not None:
+                assert plan.num_sessions <= b * k
+
+    def test_infeasible(self):
+        assert plan_campaign(1000, 500, 0.001, group_choices=(2, 4)) is None
+
+
+class TestModelAgainstSimulation:
+    def test_expected_dr_matches_monte_carlo(self):
+        """Under the model's assumptions (uniform random failing cells,
+        random labels) the analytic DR must match simulation closely."""
+        num_cells, a, b, k = 400, 3, 8, 3
+        config = ScanConfig.single_chain(num_cells)
+        rng = np.random.default_rng(0)
+        partitioner = RandomSelectionPartitioner(num_cells, b, seed=0x7777)
+        partitions = partitioner.partitions(k)
+        total_candidates = 0
+        total_actual = 0
+        trials = 120
+        for _ in range(trials):
+            response = inject_random_errors(num_cells, 8, a, rng, max_cells=a)
+            result = diagnose(response, config, partitions, compactor=None)
+            total_candidates += len(result.candidate_cells)
+            total_actual += len(result.actual_cells)
+        empirical = (total_candidates - total_actual) / total_actual
+        analytic = expected_dr(num_cells, a, b, k)
+        assert empirical == pytest.approx(analytic, rel=0.5, abs=0.5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_cells=st.integers(10, 5000),
+    a=st.integers(1, 9),
+    b=st.sampled_from([4, 8, 16, 32]),
+    k=st.integers(1, 12),
+)
+def test_expected_dr_non_negative_and_bounded(num_cells, a, b, k):
+    a = min(a, num_cells)
+    dr = expected_dr(num_cells, a, b, k)
+    assert 0 <= dr <= (num_cells - a) / a + 1e-9
+
+
+class TestPopulationModel:
+    def test_mixture_dominated_by_heavy_faults(self):
+        from repro.core.planner import expected_population_dr
+
+        light_only = expected_population_dr(1000, [2] * 10, 16, 4)
+        with_heavy = expected_population_dr(1000, [2] * 10 + [50], 16, 4)
+        assert with_heavy > light_only
+
+    def test_mixture_equals_single_when_homogeneous(self):
+        from repro.core.planner import expected_dr, expected_population_dr
+
+        single = expected_dr(500, 4, 8, 3)
+        mixture = expected_population_dr(500, [4] * 20, 8, 3)
+        assert mixture == pytest.approx(single)
+
+    def test_population_plan_meets_target(self):
+        from repro.core.planner import (
+            expected_population_dr,
+            plan_campaign_for_population,
+        )
+
+        multiplicities = [1, 2, 2, 3, 8, 20]
+        plan = plan_campaign_for_population(800, multiplicities, 0.3)
+        assert plan is not None
+        assert plan.expected_dr <= 0.3
+        assert expected_population_dr(
+            800, multiplicities, plan.num_groups, plan.num_partitions
+        ) == pytest.approx(plan.expected_dr)
+
+    def test_validation(self):
+        from repro.core.planner import expected_population_dr
+
+        with pytest.raises(ValueError):
+            expected_population_dr(100, [], 8, 2)
+        with pytest.raises(ValueError):
+            expected_population_dr(100, [0, 0], 8, 2)

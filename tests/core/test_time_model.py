@@ -1,0 +1,63 @@
+"""Tests for the diagnosis-time model."""
+
+import pytest
+
+from repro.bist.scan import ScanConfig
+from repro.core.diagnosis import DiagnosisResult
+from repro.core.time_model import (
+    TimeEstimate,
+    adaptive_cycles,
+    campaign_cycles,
+    cycles_to_reach_dr,
+    session_cycles,
+)
+
+
+def result_with_history(history, actual=1):
+    return DiagnosisResult(
+        actual_cells=set(range(actual)),
+        candidate_cells=set(range(history[-1])),
+        outcomes=[],
+        partitions=[],
+        candidate_history=list(history),
+    )
+
+
+class TestCycleCounts:
+    def test_session_cycles(self):
+        config = ScanConfig.single_chain(10)
+        # (patterns + 1) * L + patterns = 5*10 + 4
+        assert session_cycles(config, 4) == 54
+
+    def test_session_cycles_multi_chain_uses_longest(self):
+        config = ScanConfig([[0, 1, 2], [3]])
+        assert session_cycles(config, 4) == 5 * 3 + 4
+
+    def test_campaign_scales_linearly(self):
+        config = ScanConfig.single_chain(10)
+        one = campaign_cycles(1, 1, config, 4)
+        assert campaign_cycles(3, 8, config, 4) == 24 * one
+
+    def test_adaptive_includes_resync(self):
+        config = ScanConfig.single_chain(10)
+        base = session_cycles(config, 4)
+        assert adaptive_cycles(5, config, 4, resync_cycles=100) == 5 * (base + 100)
+
+
+class TestTimeEstimate:
+    def test_seconds(self):
+        est = TimeEstimate(cycles=50_000_000, clock_hz=50e6)
+        assert est.seconds == pytest.approx(1.0)
+
+
+class TestCyclesToReachDr:
+    def test_reached(self):
+        config = ScanConfig.single_chain(10)
+        results = [result_with_history([5, 3, 1])]
+        cycles = cycles_to_reach_dr(results, 2.0, 4, config, 8, 3)
+        assert cycles == campaign_cycles(2, 4, config, 8)
+
+    def test_not_reached(self):
+        config = ScanConfig.single_chain(10)
+        results = [result_with_history([5, 5, 5])]
+        assert cycles_to_reach_dr(results, 0.5, 4, config, 8, 3) is None

@@ -1,0 +1,108 @@
+"""Tests for failing test-vector identification (extension after [4])."""
+
+import numpy as np
+import pytest
+
+from repro.bist.misr import LinearCompactor
+from repro.bist.scan import ScanConfig
+from repro.core.two_step import make_partitioner
+from repro.core.vector_diagnosis import (
+    diagnose_vectors,
+    failing_vectors,
+    vector_diagnostic_resolution,
+)
+from repro.sim.bitops import pack_bits
+from repro.sim.faults import Fault
+from repro.sim.faultsim import FaultResponse
+
+NUM_PATTERNS = 32
+
+
+def make_response(cell_patterns):
+    cell_errors = {
+        cell: pack_bits([1 if p in pats else 0 for p in range(NUM_PATTERNS)])
+        for cell, pats in cell_patterns.items()
+    }
+    return FaultResponse(Fault("X", 0), cell_errors, NUM_PATTERNS)
+
+
+class TestFailingVectors:
+    def test_union_over_cells(self):
+        response = make_response({0: [1, 5], 3: [5, 9]})
+        assert failing_vectors(response) == {1, 5, 9}
+
+    def test_empty(self):
+        assert failing_vectors(make_response({})) == set()
+
+
+class TestDiagnoseVectors:
+    def vector_partitions(self, scheme="random", groups=4, count=3):
+        return make_partitioner(scheme, NUM_PATTERNS, groups).partitions(count)
+
+    def test_soundness_exact(self, rng):
+        config = ScanConfig.single_chain(20)
+        for seed in range(6):
+            local = np.random.default_rng(seed)
+            response = make_response(
+                {int(c): [int(p) for p in local.choice(NUM_PATTERNS, 3,
+                                                       replace=False)]
+                 for c in local.choice(20, 3, replace=False)}
+            )
+            result = diagnose_vectors(
+                response, config, self.vector_partitions(), compactor=None
+            )
+            assert result.sound
+            assert result.detected
+
+    def test_candidates_shrink_with_partitions(self):
+        config = ScanConfig.single_chain(10)
+        response = make_response({2: [7], 5: [7, 20]})
+        result = diagnose_vectors(
+            response, config, self.vector_partitions(count=5), compactor=None
+        )
+        history = result.candidate_history
+        assert all(a >= b for a, b in zip(history, history[1:]))
+        assert result.candidate_vectors >= {7, 20}
+
+    def test_compactor_agrees_with_exact(self, rng):
+        config = ScanConfig.single_chain(16)
+        response = make_response(
+            {int(c): [int(rng.integers(0, NUM_PATTERNS))]
+             for c in rng.choice(16, 4, replace=False)}
+        )
+        parts = self.vector_partitions("two-step", count=4)
+        exact = diagnose_vectors(response, config, parts, None)
+        real = diagnose_vectors(response, config, parts, LinearCompactor(24, 1))
+        assert exact.candidate_vectors == real.candidate_vectors
+
+    def test_partition_length_mismatch(self):
+        config = ScanConfig.single_chain(10)
+        bad_parts = make_partitioner("random", 16, 4).partitions(1)
+        with pytest.raises(ValueError, match="number of patterns"):
+            diagnose_vectors(make_response({1: [0]}), config, bad_parts)
+
+    def test_multi_chain_events_aggregate(self):
+        config = ScanConfig.balanced(12, 3)
+        response = make_response({1: [4], 10: [4]})
+        result = diagnose_vectors(
+            response, config, self.vector_partitions(count=4), compactor=None
+        )
+        assert result.actual_vectors == {4}
+        assert 4 in result.candidate_vectors
+
+
+class TestVectorDR:
+    def test_formula(self):
+        from repro.core.vector_diagnosis import VectorDiagnosisResult
+
+        results = [
+            VectorDiagnosisResult({1}, {1, 2}),
+            VectorDiagnosisResult({3, 4}, {3, 4}),
+        ]
+        assert vector_diagnostic_resolution(results) == pytest.approx(1 / 3)
+
+    def test_all_undetected_raises(self):
+        from repro.core.vector_diagnosis import VectorDiagnosisResult
+
+        with pytest.raises(ValueError):
+            vector_diagnostic_resolution([VectorDiagnosisResult(set(), set())])

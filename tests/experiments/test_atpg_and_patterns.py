@@ -1,0 +1,32 @@
+"""Integration tests for the ATPG top-up and pattern-count experiments."""
+
+import pytest
+
+from repro.experiments.atpg_topup import run_atpg_topup
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.patterns_ablation import run_pattern_count_ablation
+
+SMALL = ExperimentConfig(num_faults=12, num_faults_large=6)
+
+
+class TestAtpgTopup:
+    def test_combined_coverage_never_below_random(self):
+        result = run_atpg_topup(("s953",), config=SMALL, max_missed=10)
+        row = result.rows[0]
+        assert 0 <= row.random_coverage <= 1
+        assert row.combined_coverage >= row.random_coverage - 1e-12
+        assert row.podem_testable <= row.missed
+        assert "PODEM" in result.render()
+
+
+class TestPatternCountAblation:
+    def test_coverage_weakly_increases_with_patterns(self):
+        result = run_pattern_count_ablation(
+            "s953", pattern_counts=(16, 64), num_partitions=4, num_groups=4,
+            config=SMALL,
+        )
+        coverages = [row[1] for row in result.rows]
+        assert coverages[0] <= coverages[1] + 1e-12
+        cycles = [row[4] for row in result.rows]
+        assert cycles[0] < cycles[1]
+        assert "pattern count" in result.render()

@@ -1,0 +1,59 @@
+"""Tests for experiment configuration and environment knobs."""
+
+import pytest
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    default_config,
+    env_float,
+    env_int,
+    paper_config,
+)
+
+
+class TestEnvHelpers:
+    def test_env_int_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_X", raising=False)
+        assert env_int("REPRO_TEST_X", 7) == 7
+
+    def test_env_int_set(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_X", "42")
+        assert env_int("REPRO_TEST_X", 7) == 42
+
+    def test_env_int_blank_is_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_X", "  ")
+        assert env_int("REPRO_TEST_X", 7) == 7
+
+    def test_env_float(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_Y", "0.25")
+        assert env_float("REPRO_TEST_Y", None) == 0.25
+
+
+class TestConfigs:
+    def test_default_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "9")
+        monkeypatch.setenv("REPRO_FAULTS_LARGE", "4")
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        config = default_config()
+        assert config.num_faults == 9
+        assert config.num_faults_large == 4
+        assert config.scale == 0.1
+
+    def test_overrides_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "9")
+        config = default_config(num_faults=3)
+        assert config.num_faults == 3
+
+    def test_paper_config_is_full_scale(self):
+        config = paper_config()
+        assert config.num_faults == 500
+        assert config.num_faults_large == 500
+        assert config.scale is None
+
+    def test_faults_for_large_circuits(self):
+        config = ExperimentConfig(num_faults=100, num_faults_large=40)
+        assert config.faults_for("s953") == 100
+        assert config.faults_for("s38417") == 40
+
+    def test_misr_width_default(self):
+        assert ExperimentConfig().misr_width == 24

@@ -1,0 +1,46 @@
+"""Integration tests for the extension experiments."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.extensions import (
+    run_multi_core,
+    run_scan_order_ablation,
+    run_vector_diagnosis,
+)
+from repro.soc.stitch import build_stitched_soc
+
+SMALL = ExperimentConfig(num_faults=10, num_faults_large=5)
+TINY = ExperimentConfig(num_faults=8, num_faults_large=4, scale=0.08)
+
+
+class TestVectorDiagnosisExperiment:
+    def test_runs_and_reports_all_schemes(self):
+        result = run_vector_diagnosis("s953", config=SMALL)
+        schemes = [row[0] for row in result.rows]
+        assert schemes == ["random", "interval", "two-step"]
+        for row in result.rows:
+            assert row[2] >= 0
+        assert "failing-vector" in result.render()
+
+
+class TestScanOrderExperiment:
+    def test_random_order_destroys_clustering(self):
+        result = run_scan_order_ablation("s5378", config=SMALL)
+        by_label = {row[0]: row for row in result.rows}
+        structural = by_label["structural"]
+        randomized = by_label["random"]
+        # The mean failing span grows when the order is shuffled...
+        assert randomized[1] > structural[1]
+        # ...which is the paper's clustering premise made causal.
+        assert "ordering" in result.render()
+
+
+class TestMultiCoreExperiment:
+    def test_two_step_wins_with_two_faulty_cores(self):
+        soc = build_stitched_soc(num_patterns=32, scale=0.08)
+        result = run_multi_core(soc=soc, config=TINY, num_groups=16)
+        by_scheme = {row[0]: row[1] for row in result.rows}
+        assert set(by_scheme) == {"random", "two-step"}
+        assert by_scheme["two-step"] <= by_scheme["random"] + 1e-9
+        assert "faulty cores" in result.render()

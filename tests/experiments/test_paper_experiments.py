@@ -1,0 +1,160 @@
+"""Integration tests: every table/figure/ablation module runs end to end at
+a reduced scale and produces structurally sensible output."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_aliasing_ablation,
+    run_binary_search_ablation,
+    run_deterministic_ablation,
+    run_group_count_ablation,
+    run_interval_count_ablation,
+)
+from repro.experiments.clustering import run_clustering
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.soc_tables import run_table3, run_table4
+from repro.experiments.table1 import SCHEMES, run_table1
+from repro.experiments.table2 import groups_for_length, run_table2
+from repro.soc.d695 import build_d695_soc
+from repro.soc.stitch import build_stitched_soc
+
+TINY = ExperimentConfig(num_faults=10, num_faults_large=5, scale=0.08)
+SMALL = ExperimentConfig(num_faults=12, num_faults_large=6)
+
+
+class TestTable1:
+    def test_runs_and_has_expected_shape(self):
+        result = run_table1(SMALL)
+        for scheme in SCHEMES:
+            assert len(result.dr[scheme]) == 8
+            # DR weakly decreasing in partitions.
+            sweep = result.dr[scheme]
+            assert all(a >= b - 1e-9 for a, b in zip(sweep, sweep[1:]))
+        assert "Table 1" in result.render()
+
+    def test_two_step_matches_interval_at_one_partition(self):
+        result = run_table1(SMALL)
+        assert result.dr["two-step"][0] == pytest.approx(result.dr["interval"][0])
+
+
+class TestTable2:
+    def test_groups_for_length(self):
+        assert groups_for_length(500) == 16
+        assert groups_for_length(2000) == 32
+
+    def test_rows_complete(self):
+        result = run_table2(TINY, circuits=["s953", "s5378"])
+        assert [r.circuit for r in result.rows] == ["s953", "s5378"]
+        for row in result.rows:
+            assert row.dr_random >= 0
+            assert row.dr_two_step >= 0
+            assert row.dr_random_pruned <= row.dr_random + 1e-9
+            assert row.dr_two_step_pruned <= row.dr_two_step + 1e-9
+        assert "Table 2" in result.render()
+
+
+class TestSocTables:
+    @pytest.fixture(scope="class")
+    def soc1(self):
+        return build_stitched_soc(num_patterns=32, scale=0.08)
+
+    @pytest.fixture(scope="class")
+    def soc2(self):
+        return build_d695_soc(num_patterns=32, scale=0.08)
+
+    def test_table3(self, soc1):
+        result = run_table3(TINY, soc=soc1)
+        assert len(result.rows) == 6
+        for row in result.rows:
+            assert row.dr_random >= -1e-9
+            assert row.dr_two_step >= -1e-9
+        assert "single scan chain" in result.render()
+
+    def test_table4(self, soc2):
+        result = run_table4(TINY, soc=soc2)
+        assert len(result.rows) == 8
+        assert "multiple scan chains" in result.render()
+
+    def test_figure5(self, soc1):
+        result = run_figure5(TINY, soc=soc1, max_partitions=10)
+        assert set(result.partitions_needed) == {c.name for c in soc1.cores}
+        for by_scheme in result.partitions_needed.values():
+            for scheme, needed in by_scheme.items():
+                assert needed is None or 1 <= needed <= 10
+        assert "Figure 5" in result.render()
+
+
+class TestFigure3:
+    def test_structure(self):
+        result = run_figure3(SMALL)
+        assert len(result.failing_cells) >= 1
+        assert len(result.interval_groups) == 4
+        assert len(result.random_groups) == 4
+        all_interval = sorted(p for g in result.interval_groups for p in g)
+        all_random = sorted(p for g in result.random_groups for p in g)
+        assert all_interval == list(range(result.num_cells))
+        assert all_random == list(range(result.num_cells))
+        # Soundness: suspects include the failing cells.
+        assert result.interval_suspects >= len(result.failing_cells)
+        assert result.random_suspects >= len(result.failing_cells)
+        assert "Figure 3" in result.render()
+
+
+class TestClustering:
+    def test_relative_spans_small(self):
+        result = run_clustering(("s953",), SMALL)
+        row = result.rows[0]
+        assert row.num_faults > 0
+        assert 0 < row.mean_relative_span <= 1
+        assert row.mean_failing_cells >= 1
+        assert "clustering" in result.render()
+
+
+class TestAblations:
+    def test_interval_count(self):
+        result = run_interval_count_ablation(
+            "s953", counts=(0, 1, 2), num_partitions=4, num_groups=4, config=SMALL
+        )
+        assert set(result.dr_by_interval_count) == {0, 1, 2}
+        assert "Ablation 1" in result.render()
+
+    def test_group_count(self):
+        result = run_group_count_ablation(
+            "s953", group_counts=(4, 8), num_partitions=4, config=SMALL
+        )
+        assert len(result.rows) == 2
+        sessions = [row[1] for row in result.rows]
+        assert sessions == [16, 32]
+        assert "Ablation 2" in result.render()
+
+    def test_aliasing(self):
+        result = run_aliasing_ablation(
+            "s953", widths=(8, 16), num_partitions=4, num_groups=4, config=SMALL
+        )
+        labels = [row[0] for row in result.rows]
+        assert labels == ["exact", "parity", "MISR-8", "MISR-16"]
+        exact_violations = result.rows[0][2]
+        assert exact_violations == 0
+        # Parity aliases on every even error count: it can only do worse
+        # (or equal) on soundness than any MISR.
+        by_label = {row[0]: row for row in result.rows}
+        assert by_label["parity"][2] >= by_label["MISR-16"][2]
+        assert "Ablation 3" in result.render()
+
+    def test_deterministic(self):
+        result = run_deterministic_ablation(
+            "s953", partition_counts=(1, 2), num_groups=4, config=SMALL
+        )
+        assert len(result.rows) == 4
+        assert "Ablation 4" in result.render()
+
+    def test_binary_search(self):
+        result = run_binary_search_ablation(
+            "s953", num_partitions=4, num_groups=4, config=SMALL
+        )
+        assert result.mean_sessions_binary > 0
+        assert result.partition_sessions == 16
+        assert result.dr_binary <= result.dr_two_step + 1e-9
+        assert "Ablation 5" in result.render()

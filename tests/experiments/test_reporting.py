@@ -1,0 +1,38 @@
+"""Tests for table rendering."""
+
+from repro.experiments.reporting import format_cell, render_series, render_table
+
+
+class TestFormatCell:
+    def test_none(self):
+        assert format_cell(None) == "-"
+
+    def test_float_precision(self):
+        assert format_cell(1.23456) == "1.23"
+        assert format_cell(1.23456, precision=3) == "1.235"
+
+    def test_int_and_str(self):
+        assert format_cell(7) == "7"
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_contains_title_headers_rows(self):
+        text = render_table("My Table", ["a", "bb"], [[1, 2.5], ["x", None]])
+        assert "My Table" in text
+        assert "a" in text and "bb" in text
+        assert "2.50" in text
+        assert "-" in text
+
+    def test_columns_aligned(self):
+        text = render_table("T", ["col"], [[1], [100]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines[1:] if line}
+        assert len(widths) == 1  # all rule/data lines equal width
+
+
+class TestRenderSeries:
+    def test_one_row(self):
+        text = render_series("S", ["x", "y"], [1, 2])
+        assert text.count("\n") >= 3
+        assert "1" in text and "2" in text

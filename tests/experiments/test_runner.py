@@ -1,0 +1,72 @@
+"""Tests for shared experiment machinery (workloads, scheme evaluation)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    build_circuit_workload,
+    build_soc_workloads,
+    evaluate_scheme,
+    scheme_partitions,
+)
+from repro.soc.stitch import build_stitched_soc
+
+TINY = ExperimentConfig(num_faults=8, num_faults_large=4, scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_circuit_workload("s953", TINY)
+
+
+class TestWorkloads:
+    def test_circuit_workload_shape(self, workload):
+        assert workload.scan_config.num_chains == 1
+        assert workload.num_cells == workload.scan_config.max_length
+        assert 0 < len(workload.responses) <= 8
+        assert all(r.detected for r in workload.responses)
+
+    def test_soc_workloads_one_per_core(self):
+        soc = build_stitched_soc(["s953", "s838"], num_patterns=16, scale=0.1)
+        workloads = build_soc_workloads(soc, TINY)
+        assert set(workloads) == {"s953", "s838"}
+        for name, wl in workloads.items():
+            assert wl.scan_config is soc.scan_config
+            core_index = [c.name for c in soc.cores].index(name)
+            core_cells = set(soc.core_cells(core_index))
+            for response in wl.responses:
+                assert set(response.cell_errors) <= core_cells
+
+
+class TestSchemePartitions:
+    def test_counts_and_length(self):
+        parts = scheme_partitions("two-step", 50, 4, 5)
+        assert len(parts) == 5
+        assert all(p.length == 50 for p in parts)
+
+    def test_num_interval_partitions_forwarded(self):
+        parts = scheme_partitions(
+            "two-step", 50, 4, 4, num_interval_partitions=2
+        )
+        assert [p.scheme for p in parts[:2]] == ["interval", "interval"]
+
+
+class TestEvaluateScheme:
+    def test_dr_finite_and_results_complete(self, workload):
+        evaluation = evaluate_scheme(workload, "two-step", 4, 4, TINY)
+        assert evaluation.dr >= 0 or evaluation.dr > -1  # finite
+        assert len(evaluation.results) == len(workload.responses)
+        assert evaluation.dr_pruned is None
+
+    def test_with_pruning(self, workload):
+        evaluation = evaluate_scheme(
+            workload, "random", 4, 4, TINY, with_pruning=True
+        )
+        assert evaluation.dr_pruned is not None
+        assert evaluation.dr_pruned <= evaluation.dr + 1e-9
+        assert len(evaluation.pruned_results) == len(evaluation.results)
+
+    def test_soundness_across_schemes(self, workload):
+        for scheme in ("random", "interval", "two-step", "deterministic"):
+            evaluation = evaluate_scheme(workload, scheme, 3, 4, TINY)
+            assert all(r.sound for r in evaluation.results)

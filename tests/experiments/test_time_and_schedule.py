@@ -1,0 +1,61 @@
+"""Integration tests for the diagnosis-time and bypass-schedule experiments."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.extensions import (
+    _clip_to_budget,
+    run_diagnosis_time,
+    run_schedule_diagnosis,
+)
+from repro.sim.bitops import pack_bits
+from repro.sim.faults import Fault
+from repro.sim.faultsim import FaultResponse
+from repro.soc.stitch import build_stitched_soc
+
+TINY = ExperimentConfig(num_faults=8, num_faults_large=4, scale=0.08)
+
+
+class TestDiagnosisTime:
+    def test_cycles_reported_per_core(self):
+        soc = build_stitched_soc(num_patterns=32, scale=0.08)
+        result = run_diagnosis_time(
+            soc=soc, config=TINY, max_partitions=12, num_groups=16
+        )
+        assert len(result.rows) == 6
+        for row in result.rows:
+            random_mc, two_step_mc = row[1], row[2]
+            if random_mc is not None and two_step_mc is not None:
+                assert two_step_mc <= random_mc + 1e-9
+        assert "tester cycles" in result.render()
+
+
+class TestScheduleDiagnosis:
+    def test_runs_on_embedded_d695(self):
+        result = run_schedule_diagnosis(config=TINY)
+        assert len(result.rows) == 8
+        assert result.num_phases >= 2
+        for row in result.rows:
+            if row[2] is not None:
+                assert row[2] >= -1e-9
+        assert "bypass schedule" in result.render()
+
+
+class TestClipToBudget:
+    def test_late_errors_dropped(self):
+        response = FaultResponse(
+            Fault("X", 0),
+            {0: pack_bits([0, 1, 0, 1, 0, 1, 0, 1])},
+            8,
+        )
+        clipped = _clip_to_budget(response, 4)
+        from repro.sim.bitops import unpack_bits
+
+        assert unpack_bits(clipped.cell_errors[0], 8) == [0, 1, 0, 1, 0, 0, 0, 0]
+
+    def test_cell_removed_when_all_errors_late(self):
+        response = FaultResponse(
+            Fault("X", 0), {0: pack_bits([0, 0, 0, 0, 0, 1, 1, 0])}, 8
+        )
+        clipped = _clip_to_budget(response, 4)
+        assert not clipped.detected

@@ -1,0 +1,95 @@
+"""Tests for packed-word helpers, including hypothesis round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.bitops import (
+    WORD_BITS,
+    any_bit,
+    get_bit,
+    num_words,
+    pack_bits,
+    pattern_mask,
+    popcount,
+    random_patterns,
+    unpack_bits,
+)
+
+
+class TestNumWords:
+    @pytest.mark.parametrize(
+        "n,expected", [(0, 0), (1, 1), (63, 1), (64, 1), (65, 2), (128, 2), (129, 3)]
+    )
+    def test_values(self, n, expected):
+        assert num_words(n) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            num_words(-1)
+
+
+class TestPatternMask:
+    def test_partial_word(self):
+        mask = pattern_mask(5)
+        assert mask.tolist() == [0b11111]
+
+    def test_full_word(self):
+        mask = pattern_mask(64)
+        assert mask.tolist() == [0xFFFFFFFFFFFFFFFF]
+
+    def test_multi_word(self):
+        mask = pattern_mask(70)
+        assert mask[0] == np.uint64(0xFFFFFFFFFFFFFFFF)
+        assert mask[1] == np.uint64(0b111111)
+
+    def test_zero_patterns(self):
+        assert pattern_mask(0).size == 0
+
+
+@given(st.lists(st.integers(0, 1), min_size=0, max_size=200))
+def test_pack_unpack_round_trip(bits):
+    vec = pack_bits(bits)
+    assert unpack_bits(vec, len(bits)) == bits
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=200))
+def test_popcount_matches_sum(bits):
+    assert popcount(pack_bits(bits)) == sum(bits)
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=200), st.data())
+def test_get_bit(bits, data):
+    idx = data.draw(st.integers(0, len(bits) - 1))
+    assert get_bit(pack_bits(bits), idx) == bits[idx]
+
+
+class TestAnyBit:
+    def test_empty_vector(self):
+        assert not any_bit(np.zeros(0, dtype=np.uint64))
+
+    def test_zero(self):
+        assert not any_bit(np.zeros(3, dtype=np.uint64))
+
+    def test_nonzero(self):
+        vec = np.zeros(3, dtype=np.uint64)
+        vec[2] = np.uint64(1) << np.uint64(17)
+        assert any_bit(vec)
+
+
+class TestRandomPatterns:
+    def test_shape_and_tail_cleared(self, rng):
+        matrix = random_patterns(5, 70, rng)
+        assert matrix.shape == (5, 2)
+        tail_mask = ~pattern_mask(70)[1]
+        assert all(int(row[1]) & int(tail_mask) == 0 for row in matrix)
+
+    def test_deterministic_under_seed(self):
+        a = random_patterns(3, 100, np.random.default_rng(9))
+        b = random_patterns(3, 100, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+    def test_nontrivial(self, rng):
+        matrix = random_patterns(4, 256, rng)
+        assert popcount(matrix[0]) > 0

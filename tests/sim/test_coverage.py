@@ -1,0 +1,73 @@
+"""Tests for fault-coverage and detectability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.sim.bitops import pack_bits
+from repro.sim.coverage import CoverageReport, coverage_report, profile_fault
+from repro.sim.faults import Fault, collapse_faults
+from repro.sim.faultsim import FaultResponse, FaultSimulator
+
+
+def response(cells, num_patterns=16):
+    return FaultResponse(
+        Fault("X", 0),
+        {c: pack_bits([1 if p in pats else 0 for p in range(num_patterns)])
+         for c, pats in cells.items()},
+        num_patterns,
+    )
+
+
+class TestProfileFault:
+    def test_detected_fault(self):
+        profile = profile_fault(response({3: [2, 5], 7: [5, 9]}))
+        assert profile.detected
+        assert profile.first_detecting_pattern == 2
+        assert profile.num_detecting_patterns == 3  # patterns 2, 5, 9
+        assert profile.num_failing_cells == 2
+        assert profile.failing_span == 5
+        assert profile.error_events == 4
+
+    def test_undetected_fault(self):
+        profile = profile_fault(response({}))
+        assert not profile.detected
+        assert profile.first_detecting_pattern is None
+        assert profile.num_failing_cells == 0
+
+
+class TestCoverageReport:
+    def build(self, small_compiled, small_good, max_faults=60):
+        sim = FaultSimulator(small_compiled, small_good)
+        return coverage_report(sim, max_faults=max_faults,
+                               rng=np.random.default_rng(1))
+
+    def test_coverage_between_zero_and_one(self, small_compiled, small_good):
+        report = self.build(small_compiled, small_good)
+        assert 0.0 < report.fault_coverage <= 1.0
+        assert report.num_faults == len(report.profiles) == 60
+
+    def test_coverage_curve_monotone_and_ends_at_total(
+        self, small_compiled, small_good
+    ):
+        report = self.build(small_compiled, small_good)
+        curve = report.coverage_curve()
+        assert len(curve) == report.num_patterns
+        assert all(a <= b + 1e-12 for a, b in zip(curve, curve[1:]))
+        assert curve[-1] == pytest.approx(report.fault_coverage)
+
+    def test_multiplicity_percentiles_ordered(self, small_compiled, small_good):
+        report = self.build(small_compiled, small_good)
+        p50, p90, p99 = report.multiplicity_percentiles()
+        assert p50 <= p90 <= p99
+
+    def test_full_universe_when_no_cap(self, small_compiled, small_good):
+        sim = FaultSimulator(small_compiled, small_good)
+        universe = collapse_faults(small_compiled.netlist)
+        report = coverage_report(sim)
+        assert report.num_faults == len(universe)
+
+    def test_explicit_fault_list(self, small_compiled, small_good):
+        sim = FaultSimulator(small_compiled, small_good)
+        subset = collapse_faults(small_compiled.netlist)[:5]
+        report = coverage_report(sim, faults=subset)
+        assert report.num_faults == 5

@@ -1,0 +1,112 @@
+"""Tests for the stuck-at fault universe and equivalence collapsing."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.bench import parse_bench
+from repro.sim.faults import (
+    Fault,
+    collapse_faults,
+    full_fault_list,
+    sample_faults,
+)
+
+SIMPLE = """
+INPUT(A)
+INPUT(B)
+OUTPUT(N2)
+F0 = DFF(N1)
+N1 = AND(A, B)
+N2 = NOT(N1)
+"""
+
+
+class TestFault:
+    def test_stuck_value_validated(self):
+        with pytest.raises(ValueError):
+            Fault("A", 2)
+
+    def test_site_of_net_fault(self):
+        assert Fault("A", 0).site == "A"
+
+    def test_site_of_pin_fault(self):
+        assert Fault("A", 0, pin=("N1", 0)).site == "N1"
+
+    def test_str(self):
+        assert str(Fault("A", 1)) == "A/sa1"
+        assert "N1" in str(Fault("A", 0, pin=("N1", 0)))
+
+
+class TestFullFaultList:
+    def test_counts(self):
+        net = parse_bench(SIMPLE, name="simple")
+        faults = full_fault_list(net)
+        # Net faults: A, B, N1, N2 (DFF F0 excluded) = 4 nets x 2.
+        net_faults = [f for f in faults if f.pin is None]
+        assert len(net_faults) == 8
+        # Pin faults: AND has 2 pins, NOT has 1, DFF excluded = 3 x 2.
+        pin_faults = [f for f in faults if f.pin is not None]
+        assert len(pin_faults) == 6
+
+    def test_dff_outputs_excluded(self):
+        net = parse_bench(SIMPLE, name="simple")
+        faults = full_fault_list(net)
+        assert not any(f.net == "F0" and f.pin is None for f in faults)
+
+
+class TestCollapse:
+    def test_collapsed_is_subset(self):
+        net = parse_bench(SIMPLE, name="simple")
+        collapsed = set(collapse_faults(net))
+        assert collapsed <= set(full_fault_list(net))
+
+    def test_single_fanout_pins_collapsed(self):
+        net = parse_bench(SIMPLE, name="simple")
+        collapsed = collapse_faults(net)
+        # A feeds only AND pin 0: the pin fault equals the stem fault.
+        assert not any(f.pin == ("N1", 0) for f in collapsed)
+
+    def test_controlling_value_collapse(self):
+        multi = parse_bench(
+            """
+            INPUT(A)
+            OUTPUT(N1)
+            OUTPUT(N2)
+            N1 = AND(A, A2)
+            N2 = OR(A, A2)
+            A2 = NOT(A)
+            """,
+            name="multi",
+        )
+        collapsed = collapse_faults(multi)
+        # A has fanout 2 (AND and OR): pin faults survive except for the
+        # controlling values (sa0 on AND pins, sa1 on OR pins).
+        and_pins = [f for f in collapsed if f.pin == ("N1", 0)]
+        or_pins = [f for f in collapsed if f.pin == ("N2", 0)]
+        assert {f.stuck_at for f in and_pins} == {1}
+        assert {f.stuck_at for f in or_pins} == {0}
+
+    def test_inverter_pins_collapsed(self):
+        net = parse_bench(SIMPLE, name="simple")
+        collapsed = collapse_faults(net)
+        assert not any(f.pin == ("N2", 0) for f in collapsed)
+
+    def test_reduction_on_generated_circuit(self, small_netlist):
+        full = full_fault_list(small_netlist)
+        collapsed = collapse_faults(small_netlist)
+        assert len(collapsed) < len(full)
+        assert len(collapsed) >= small_netlist.num_combinational_gates * 2
+
+
+class TestSample:
+    def test_sample_smaller(self, small_netlist, rng):
+        faults = collapse_faults(small_netlist)
+        sample = sample_faults(faults, 10, rng)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+        assert set(sample) <= set(faults)
+
+    def test_sample_all_when_count_large(self, small_netlist, rng):
+        faults = collapse_faults(small_netlist)
+        sample = sample_faults(faults, len(faults) + 5, rng)
+        assert sample == faults

@@ -1,0 +1,164 @@
+"""Tests for compiled bit-parallel logic simulation, validated against
+exhaustive truth tables and a reference interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.bench import parse_bench
+from repro.circuit.netlist import GateType
+from repro.sim.bitops import pack_bits, unpack_bits
+from repro.sim.logicsim import CompiledCircuit
+
+
+def eval_reference(netlist, assignment):
+    """Naive single-pattern interpreter used as ground truth."""
+    values = dict(assignment)
+
+    def value(net):
+        if net in values:
+            return values[net]
+        gate = netlist.gates[net]
+        ins = [value(f) for f in gate.fanins]
+        if gate.gtype is GateType.AND:
+            out = int(all(ins))
+        elif gate.gtype is GateType.NAND:
+            out = int(not all(ins))
+        elif gate.gtype is GateType.OR:
+            out = int(any(ins))
+        elif gate.gtype is GateType.NOR:
+            out = int(not any(ins))
+        elif gate.gtype is GateType.XOR:
+            out = sum(ins) & 1
+        elif gate.gtype is GateType.XNOR:
+            out = 1 - (sum(ins) & 1)
+        elif gate.gtype in (GateType.BUF,):
+            out = ins[0]
+        elif gate.gtype is GateType.NOT:
+            out = 1 - ins[0]
+        else:
+            raise AssertionError(gate.gtype)
+        values[net] = out
+        return out
+
+    return value
+
+
+GATE_BENCH = """
+INPUT(A)
+INPUT(B)
+INPUT(C)
+OUTPUT(X_AND)
+OUTPUT(X_NAND)
+OUTPUT(X_OR)
+OUTPUT(X_NOR)
+OUTPUT(X_XOR)
+OUTPUT(X_XNOR)
+OUTPUT(X_NOT)
+OUTPUT(X_BUF)
+X_AND = AND(A, B, C)
+X_NAND = NAND(A, B)
+X_OR = OR(A, B, C)
+X_NOR = NOR(A, B)
+X_XOR = XOR(A, B, C)
+X_XNOR = XNOR(A, B)
+X_NOT = NOT(A)
+X_BUF = BUFF(B)
+"""
+
+
+class TestGateSemantics:
+    def test_exhaustive_truth_tables(self):
+        net = parse_bench(GATE_BENCH, name="gates")
+        compiled = CompiledCircuit(net)
+        # 8 patterns = all combinations of (A, B, C).
+        combos = [(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)]
+        pi = np.vstack(
+            [
+                pack_bits([combo[i] for combo in combos])
+                for i in range(3)
+            ]
+        )
+        ff = np.zeros((0, 1), dtype=np.uint64)
+        result = compiled.simulate(pi, ff, len(combos))
+        for p, (a, b, c) in enumerate(combos):
+            expect = {
+                "X_AND": a & b & c,
+                "X_NAND": 1 - (a & b),
+                "X_OR": a | b | c,
+                "X_NOR": 1 - (a | b),
+                "X_XOR": a ^ b ^ c,
+                "X_XNOR": 1 - (a ^ b),
+                "X_NOT": 1 - a,
+                "X_BUF": b,
+            }
+            for name, want in expect.items():
+                got = unpack_bits(result.net(name), len(combos))[p]
+                assert got == want, (name, (a, b, c))
+
+
+class TestS27:
+    def test_matches_reference_interpreter(self, s27_netlist, s27_compiled, rng):
+        num_patterns = 100
+        n_pi = len(s27_netlist.inputs)
+        n_ff = s27_netlist.num_flip_flops
+        bits_pi = rng.integers(0, 2, size=(n_pi, num_patterns))
+        bits_ff = rng.integers(0, 2, size=(n_ff, num_patterns))
+        pi = np.vstack([pack_bits(bits_pi[i]) for i in range(n_pi)])
+        ff = np.vstack([pack_bits(bits_ff[i]) for i in range(n_ff)])
+        result = s27_compiled.simulate(pi, ff, num_patterns)
+        for p in range(num_patterns):
+            assignment = {
+                net: int(bits_pi[i][p]) for i, net in enumerate(s27_netlist.inputs)
+            }
+            for i, ff_gate in enumerate(s27_netlist.flip_flops):
+                assignment[ff_gate.output] = int(bits_ff[i][p])
+            ref = eval_reference(s27_netlist, assignment)
+            for net in s27_netlist.gates:
+                if s27_netlist.gates[net].gtype.is_combinational:
+                    got = unpack_bits(result.net(net), num_patterns)[p]
+                    assert got == ref(net), (net, p)
+
+    def test_captured_rows_are_d_inputs(self, s27_netlist, s27_compiled, rng):
+        num_patterns = 16
+        pi = np.vstack(
+            [pack_bits(rng.integers(0, 2, num_patterns)) for _ in range(4)]
+        )
+        ff = np.vstack(
+            [pack_bits(rng.integers(0, 2, num_patterns)) for _ in range(3)]
+        )
+        result = s27_compiled.simulate(pi, ff, num_patterns)
+        captured = result.captured
+        for i, ff_gate in enumerate(s27_netlist.flip_flops):
+            d_net = ff_gate.fanins[0]
+            assert np.array_equal(captured[i], result.net(d_net))
+
+    def test_po_values(self, s27_compiled, rng):
+        num_patterns = 8
+        pi = np.vstack([pack_bits(rng.integers(0, 2, 8)) for _ in range(4)])
+        ff = np.vstack([pack_bits(rng.integers(0, 2, 8)) for _ in range(3)])
+        result = s27_compiled.simulate(pi, ff, num_patterns)
+        assert result.po_values.shape == (1, 1)
+
+
+class TestShapes:
+    def test_wrong_pi_shape(self, s27_compiled):
+        with pytest.raises(ValueError, match="pi_values"):
+            s27_compiled.simulate(
+                np.zeros((2, 1), dtype=np.uint64),
+                np.zeros((3, 1), dtype=np.uint64),
+                10,
+            )
+
+    def test_wrong_ff_shape(self, s27_compiled):
+        with pytest.raises(ValueError, match="ff_values"):
+            s27_compiled.simulate(
+                np.zeros((4, 1), dtype=np.uint64),
+                np.zeros((5, 1), dtype=np.uint64),
+                10,
+            )
+
+    def test_properties(self, s27_compiled):
+        assert s27_compiled.num_inputs == 4
+        assert s27_compiled.num_scan_cells == 3
+        assert s27_compiled.num_nets == 17
+        assert s27_compiled.scan_cells == ["G5", "G6", "G7"]

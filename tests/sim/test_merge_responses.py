@@ -1,0 +1,56 @@
+"""Tests for multi-fault response superposition."""
+
+import numpy as np
+import pytest
+
+from repro.sim.bitops import pack_bits, unpack_bits
+from repro.sim.faults import Fault
+from repro.sim.faultsim import FaultResponse, merge_responses
+
+
+def response(cells, num_patterns=8):
+    return FaultResponse(
+        Fault("X", 0),
+        {c: pack_bits([1 if p in pats else 0 for p in range(num_patterns)])
+         for c, pats in cells.items()},
+        num_patterns,
+    )
+
+
+class TestMerge:
+    def test_disjoint_cells_union(self):
+        merged = merge_responses([response({0: [1]}), response({3: [2]})])
+        assert set(merged.cell_errors) == {0, 3}
+
+    def test_overlapping_bits_cancel(self):
+        a = response({0: [1, 2]})
+        b = response({0: [2, 3]})
+        merged = merge_responses([a, b])
+        assert unpack_bits(merged.cell_errors[0], 8) == [0, 1, 0, 1, 0, 0, 0, 0]
+
+    def test_fully_cancelling_cell_removed(self):
+        a = response({0: [1], 4: [5]})
+        b = response({0: [1]})
+        merged = merge_responses([a, b])
+        assert set(merged.cell_errors) == {4}
+
+    def test_inputs_not_mutated(self):
+        a = response({0: [1]})
+        before = a.cell_errors[0].copy()
+        merge_responses([a, response({0: [2]})])
+        assert np.array_equal(a.cell_errors[0], before)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            merge_responses([])
+
+    def test_mismatched_pattern_counts_rejected(self):
+        with pytest.raises(ValueError):
+            merge_responses([response({0: [1]}, 8), response({0: [1]}, 16)])
+
+    def test_single_response_copy(self):
+        a = response({2: [0]})
+        merged = merge_responses([a])
+        assert merged.failing_cells == [2]
+        merged.cell_errors[2][0] = np.uint64(0)
+        assert a.cell_errors[2][0] != np.uint64(0)

@@ -1,0 +1,161 @@
+"""Tests for daisy-chain test scheduling with per-core pattern budgets."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.generate import CircuitProfile, generate_circuit
+from repro.sim.bitops import pack_bits
+from repro.sim.faults import Fault
+from repro.sim.faultsim import FaultResponse
+from repro.soc.core_wrapper import EmbeddedCore
+from repro.soc.schedule import TestSchedule as Schedule
+from repro.soc.schedule import diagnose_schedule, _slice_response
+from repro.soc.testrail import TestRail as Rail
+
+NUM_PATTERNS = 32
+
+
+def tiny_core(name, n_ff, seed=0):
+    profile = CircuitProfile(name, 4, 2, n_ff, 50, depth=4)
+    return EmbeddedCore(generate_circuit(profile, seed=seed),
+                        num_patterns=NUM_PATTERNS)
+
+
+@pytest.fixture(scope="module")
+def soc():
+    return Rail(
+        "sched",
+        [tiny_core("a", 8), tiny_core("b", 6, 1), tiny_core("c", 10, 2)],
+        tam_width=2,
+    )
+
+
+class TestPhaseConstruction:
+    def test_equal_budgets_single_phase(self, soc):
+        schedule = Schedule(soc, {"a": 20, "b": 20, "c": 20})
+        assert len(schedule.phases) == 1
+        phase = schedule.phases[0]
+        assert phase.num_patterns == 20
+        assert phase.active_cores == (0, 1, 2)
+        assert phase.scan_config.num_cells == soc.num_cells
+
+    def test_staggered_budgets(self, soc):
+        schedule = Schedule(soc, {"a": 30, "b": 10, "c": 20})
+        assert [p.num_patterns for p in schedule.phases] == [10, 10, 10]
+        assert schedule.phases[0].active_cores == (0, 1, 2)
+        assert schedule.phases[1].active_cores == (0, 2)
+        assert schedule.phases[2].active_cores == (0,)
+
+    def test_bypass_shrinks_chains(self, soc):
+        schedule = Schedule(soc, {"a": 30, "b": 10, "c": 20})
+        sizes = [p.scan_config.num_cells for p in schedule.phases]
+        assert sizes == [24, 18, 8]
+
+    def test_equal_boundary_cores_drop_together(self, soc):
+        schedule = Schedule(soc, {"a": 10, "b": 10, "c": 25})
+        assert len(schedule.phases) == 2
+        assert schedule.phases[1].active_cores == (2,)
+
+    def test_cell_mapping_round_trips(self, soc):
+        schedule = Schedule(soc, {"a": 30, "b": 10, "c": 20})
+        for phase in schedule.phases:
+            for lid, gid in enumerate(phase.global_of_local):
+                assert soc.owner(gid).core_index in phase.active_cores
+            # phase-local chains reference exactly 0..N-1
+            seen = sorted(
+                c for chain in phase.scan_config.chains for c in chain
+            )
+            assert seen == list(range(len(phase.global_of_local)))
+
+    def test_missing_budget_rejected(self, soc):
+        with pytest.raises(ValueError, match="no pattern budget"):
+            Schedule(soc, {"a": 10, "b": 10})
+
+    def test_budget_above_simulated_patterns_rejected(self, soc):
+        with pytest.raises(ValueError, match="exceeds"):
+            Schedule(soc, {"a": 10, "b": 10, "c": NUM_PATTERNS + 1})
+
+    def test_describe(self, soc):
+        schedule = Schedule(soc, {"a": 30, "b": 10, "c": 20})
+        text = schedule.describe()
+        assert "3 phase(s)" in text
+        assert "patterns 0..9" in text
+
+
+class TestSliceResponse:
+    def test_pattern_window_and_reindexing(self, soc):
+        schedule = Schedule(soc, {"a": 30, "b": 10, "c": 20})
+        # A cell of core "c" failing at patterns 5 and 15: the phase-0 slice
+        # sees pattern 5, the phase-1 slice sees local pattern 5 (= 15).
+        gid = soc.global_cell(2, 3)
+        response = FaultResponse(
+            Fault("X", 0),
+            {gid: pack_bits([1 if p in (5, 15) else 0
+                             for p in range(NUM_PATTERNS)])},
+            NUM_PATTERNS,
+        )
+        phase0, phase1, phase2 = schedule.phases
+        s0 = _slice_response(response, phase0, soc)
+        s1 = _slice_response(response, phase1, soc)
+        s2 = _slice_response(response, phase2, soc)
+        assert len(s0.cell_errors) == 1 and s0.num_patterns == 10
+        assert len(s1.cell_errors) == 1 and s1.num_patterns == 10
+        assert not s2.detected  # core c is bypassed in phase 2
+
+    def test_inactive_core_cells_dropped(self, soc):
+        schedule = Schedule(soc, {"a": 30, "b": 10, "c": 20})
+        gid = soc.global_cell(1, 0)  # core b
+        response = FaultResponse(
+            Fault("X", 0),
+            {gid: pack_bits([0] * 15 + [1] + [0] * (NUM_PATTERNS - 16))},
+            NUM_PATTERNS,
+        )
+        # The error is at pattern 15, after core b is bypassed: physically
+        # impossible, and the slicing discards it.
+        s1 = _slice_response(response, schedule.phases[1], soc)
+        assert not s1.detected
+
+
+class TestDiagnoseSchedule:
+    def test_soundness_for_each_core(self, soc, rng):
+        schedule = Schedule(soc, {"a": 30, "b": 10, "c": 20})
+        for core_index, core in enumerate(soc.cores):
+            budget = schedule.budgets[core_index]
+            local = core.sample_fault_responses(2, rng)
+            for response in local:
+                lifted = soc.lift_response(core_index, response)
+                # Clip errors to the core's budget window (patterns the
+                # schedule actually applies to it).
+                clipped = {}
+                for cell, vec in lifted.cell_errors.items():
+                    bits = [
+                        1 if p < budget and (int(vec[p // 64]) >> (p % 64)) & 1
+                        else 0
+                        for p in range(NUM_PATTERNS)
+                    ]
+                    if any(bits):
+                        clipped[cell] = pack_bits(bits)
+                clipped_response = FaultResponse(
+                    response.fault, clipped, NUM_PATTERNS
+                )
+                if not clipped_response.detected:
+                    continue
+                result = diagnose_schedule(
+                    clipped_response, schedule, num_partitions=4, num_groups=4
+                )
+                assert result.sound
+
+    def test_candidates_confined_to_active_phases(self, soc, rng):
+        schedule = Schedule(soc, {"a": 30, "b": 10, "c": 20})
+        core_b = soc.cores[1]
+        response = core_b.sample_fault_responses(1, rng)[0]
+        lifted = soc.lift_response(1, response)
+        result = diagnose_schedule(
+            lifted, schedule, num_partitions=4, num_groups=4
+        )
+        # Phase 2 has only core a active; if the fault is confined to core
+        # b's capture window, no phase-2 result exists for it.
+        if result.per_phase[2] is not None:
+            # Errors after the budget would be unphysical; the slicer only
+            # passes them if the raw response had late-pattern errors.
+            assert result.detected

@@ -1,0 +1,56 @@
+"""Tests for the two SOC builders (scaled down for speed)."""
+
+import pytest
+
+from repro.circuit.library import D695_MODULES, SIX_LARGEST
+from repro.soc.d695 import build_d695_soc
+from repro.soc.stitch import build_stitched_soc
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def soc1():
+    return build_stitched_soc(num_patterns=16, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def soc2():
+    return build_d695_soc(num_patterns=16, scale=SCALE)
+
+
+class TestStitchedSoc:
+    def test_six_cores_in_order(self, soc1):
+        assert [c.name for c in soc1.cores] == SIX_LARGEST
+
+    def test_single_meta_chain(self, soc1):
+        assert soc1.scan_config.num_chains == 1
+        assert soc1.scan_config.max_length == soc1.num_cells
+
+    def test_total_cells_sum_of_cores(self, soc1):
+        assert soc1.num_cells == sum(c.num_cells for c in soc1.cores)
+
+    def test_custom_module_list(self):
+        soc = build_stitched_soc(["s953", "s838"], num_patterns=8, scale=0.2)
+        assert [c.name for c in soc.cores] == ["s953", "s838"]
+
+
+class TestD695Soc:
+    def test_modules_in_figure4_order(self, soc2):
+        assert [c.name for c in soc2.cores] == D695_MODULES
+
+    def test_eight_meta_chains(self, soc2):
+        assert soc2.scan_config.num_chains == 8
+
+    def test_chains_balanced(self, soc2):
+        lengths = [len(c) for c in soc2.scan_config.chains]
+        # Each core contributes floor-or-ceil cells per chain.
+        assert max(lengths) - min(lengths) <= len(soc2.cores)
+
+    def test_cells_partitioned(self, soc2):
+        seen = [c for chain in soc2.scan_config.chains for c in chain]
+        assert sorted(seen) == list(range(soc2.num_cells))
+
+    def test_custom_tam_width(self):
+        soc = build_d695_soc(["s953", "s838"], tam_width=2, num_patterns=8, scale=0.2)
+        assert soc.scan_config.num_chains == 2

@@ -1,0 +1,127 @@
+"""Tests for the ITC'02-style SOC description reader/writer."""
+
+import pytest
+
+from repro.soc.schedule import TestSchedule as Schedule
+from repro.soc.socfile import (
+    D695_SOC_TEXT,
+    SocFormatError,
+    build_testrail_from_description,
+    d695_description,
+    load_soc,
+    parse_soc,
+    save_soc,
+    write_soc,
+)
+
+MINI = """
+SocName mini
+TotalModules 2
+Module 0 alpha
+  Inputs 4
+  Outputs 2
+  ScanChains 2 : 5 4
+  TestPatterns 10
+Module 1 beta
+  Inputs 3
+  Outputs 1
+  ScanChains 1 : 7
+  TestPatterns 20
+"""
+
+
+class TestParse:
+    def test_basic_fields(self):
+        desc = parse_soc(MINI)
+        assert desc.name == "mini"
+        assert [m.name for m in desc.modules] == ["alpha", "beta"]
+        alpha = desc.module("alpha")
+        assert alpha.inputs == 4
+        assert alpha.scan_chains == [5, 4]
+        assert alpha.num_scan_cells == 9
+        assert desc.total_scan_cells == 16
+
+    def test_pattern_budgets(self):
+        desc = parse_soc(MINI)
+        assert desc.pattern_budgets() == {"alpha": 10, "beta": 20}
+
+    def test_unknown_module_lookup(self):
+        with pytest.raises(KeyError):
+            parse_soc(MINI).module("gamma")
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(SocFormatError, match="SocName"):
+            parse_soc("TotalModules 0\n")
+
+    def test_total_mismatch_rejected(self):
+        with pytest.raises(SocFormatError, match="TotalModules"):
+            parse_soc("SocName x\nTotalModules 3\nModule 0 a\n")
+
+    def test_field_outside_module_rejected(self):
+        with pytest.raises(SocFormatError, match="outside a module"):
+            parse_soc("SocName x\nInputs 3\n")
+
+    def test_scan_chain_count_mismatch(self):
+        with pytest.raises(SocFormatError, match="ScanChains"):
+            parse_soc("SocName x\nModule 0 a\n  ScanChains 2 : 5\n")
+
+    def test_bad_integer(self):
+        with pytest.raises(SocFormatError, match="integer"):
+            parse_soc("SocName x\nModule 0 a\n  Inputs many\n")
+
+    def test_unknown_field(self):
+        with pytest.raises(SocFormatError, match="unknown field"):
+            parse_soc("SocName x\nModule 0 a\n  Wires 5\n")
+
+    def test_out_of_order_indices_rejected(self):
+        with pytest.raises(SocFormatError, match="indices"):
+            parse_soc("SocName x\nModule 1 a\n  Inputs 1\n")
+
+
+class TestRoundTrip:
+    def test_write_parse(self):
+        original = parse_soc(MINI)
+        again = parse_soc(write_soc(original))
+        assert again == original
+
+    def test_file_io(self, tmp_path):
+        desc = parse_soc(MINI)
+        path = tmp_path / "mini.soc"
+        save_soc(desc, path)
+        assert load_soc(path) == desc
+
+
+class TestD695Description:
+    def test_matches_figure4_order(self):
+        from repro.circuit.library import D695_MODULES
+
+        desc = d695_description()
+        assert desc.name == "d695"
+        assert [m.name for m in desc.modules] == D695_MODULES
+
+    def test_scan_cells_match_published_ff_counts(self):
+        from repro.circuit.library import PROFILES
+
+        for mod in d695_description().modules:
+            assert mod.num_scan_cells == PROFILES[mod.name].num_flip_flops
+
+    def test_round_trips(self):
+        desc = d695_description()
+        assert parse_soc(write_soc(desc)) == desc
+
+
+class TestBuildFromDescription:
+    def test_builds_rail_and_budgets(self):
+        desc = parse_soc(MINI.replace("alpha", "s953").replace("beta", "s838"))
+        rail, budgets = build_testrail_from_description(desc, tam_width=2, scale=0.3)
+        assert rail.name == "mini"
+        assert set(budgets) == {"s953", "s838"}
+        schedule = Schedule(rail, budgets)
+        assert schedule.total_patterns == 20
+        assert len(schedule.phases) == 2
+
+    def test_zero_patterns_rejected(self):
+        desc = parse_soc("SocName x\nModule 0 s953\n  ScanChains 1 : 29\n"
+                         "  TestPatterns 0\n")
+        with pytest.raises(SocFormatError, match="no test patterns"):
+            build_testrail_from_description(desc, scale=0.3)

@@ -1,0 +1,127 @@
+"""Tests for the TestRail daisy-chain architecture and core wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.generate import CircuitProfile, generate_circuit
+from repro.sim.bitops import pack_bits
+from repro.sim.faults import Fault
+from repro.sim.faultsim import FaultResponse
+from repro.soc.core_wrapper import EmbeddedCore
+from repro.soc.testrail import TestRail as Rail
+from repro.soc.testrail import _balanced_segments
+
+
+def tiny_core(name, n_ff=10, seed=0):
+    profile = CircuitProfile(name, 4, 2, n_ff, 60, depth=4)
+    return EmbeddedCore(generate_circuit(profile, seed=seed), num_patterns=16)
+
+
+@pytest.fixture(scope="module")
+def rail3():
+    cores = [tiny_core("coreA", 10), tiny_core("coreB", 7, 1), tiny_core("coreC", 12, 2)]
+    return Rail("rail3", cores, tam_width=1)
+
+
+@pytest.fixture(scope="module")
+def rail_wide():
+    cores = [tiny_core("coreA", 10), tiny_core("coreB", 7, 1), tiny_core("coreC", 12, 2)]
+    return Rail("railW", cores, tam_width=4)
+
+
+class TestBalancedSegments:
+    def test_even(self):
+        assert _balanced_segments(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_first(self):
+        assert _balanced_segments(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_more_parts_than_cells(self):
+        segments = _balanced_segments(2, 4)
+        assert segments == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+
+class TestSingleChain:
+    def test_all_cells_mapped(self, rail3):
+        assert rail3.num_cells == 10 + 7 + 12
+        assert rail3.scan_config.num_chains == 1
+
+    def test_daisy_order_preserved(self, rail3):
+        chain = rail3.scan_config.chains[0]
+        owners = [rail3.owner(c).core_index for c in chain]
+        assert owners == sorted(owners)
+
+    def test_core_cells_contiguous_on_chain(self, rail3):
+        lo, hi = rail3.core_position_range(1, 0)
+        assert hi - lo == 7
+        for pos in range(lo, hi):
+            cell = rail3.scan_config.chains[0][pos]
+            assert rail3.owner(cell).core_index == 1
+
+    def test_global_local_round_trip(self, rail3):
+        for core_index, core in enumerate(rail3.cores):
+            for local in range(core.num_cells):
+                gid = rail3.global_cell(core_index, local)
+                ref = rail3.owner(gid)
+                assert (ref.core_index, ref.local_cell) == (core_index, local)
+
+
+class TestWideTam:
+    def test_chain_count(self, rail_wide):
+        assert rail_wide.scan_config.num_chains == 4
+
+    def test_chains_balanced(self, rail_wide):
+        lengths = [len(c) for c in rail_wide.scan_config.chains]
+        assert max(lengths) - min(lengths) <= len(rail_wide.cores)
+
+    def test_every_cell_exactly_once(self, rail_wide):
+        seen = [c for chain in rail_wide.scan_config.chains for c in chain]
+        assert sorted(seen) == list(range(rail_wide.num_cells))
+
+    def test_core_contiguous_per_chain(self, rail_wide):
+        for core_index in range(3):
+            for w in range(4):
+                lo, hi = rail_wide.core_position_range(core_index, w)
+                for pos in range(lo, hi):
+                    cell = rail_wide.scan_config.chains[w][pos]
+                    assert rail_wide.owner(cell).core_index == core_index
+
+
+class TestLiftResponse:
+    def test_cells_translated(self, rail3):
+        local = FaultResponse(
+            Fault("X", 0), {2: pack_bits([1, 0, 1]), 5: pack_bits([0, 1, 0])}, 3
+        )
+        lifted = rail3.lift_response(1, local)
+        expected = {rail3.global_cell(1, 2), rail3.global_cell(1, 5)}
+        assert set(lifted.cell_errors) == expected
+        assert lifted.num_patterns == 3
+
+    def test_error_vectors_copied(self, rail3):
+        vec = pack_bits([1])
+        local = FaultResponse(Fault("X", 0), {0: vec}, 1)
+        lifted = rail3.lift_response(0, local)
+        lifted.cell_errors[rail3.global_cell(0, 0)][0] = np.uint64(0)
+        assert vec[0] == np.uint64(1)
+
+
+class TestEmbeddedCore:
+    def test_sampled_responses_are_detected(self, rng):
+        core = tiny_core("sampled", 12)
+        responses = core.sample_fault_responses(5, rng)
+        assert 0 < len(responses) <= 5
+        assert all(r.detected for r in responses)
+
+    def test_collapsed_faults_cached(self):
+        core = tiny_core("cached", 8)
+        assert core.collapsed_faults() is core.collapsed_faults()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Rail("bad", [], tam_width=1)
+        with pytest.raises(ValueError):
+            Rail("bad", [tiny_core("x", 5)], tam_width=0)
+
+    def test_describe_mentions_cores(self, rail3):
+        text = rail3.describe()
+        assert "coreA" in text and "coreB" in text and "coreC" in text

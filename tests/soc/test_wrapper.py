@@ -1,0 +1,133 @@
+"""Tests for wrapper chain assignment (LPT) and its TestRail integration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.generate import CircuitProfile, generate_circuit
+from repro.soc.core_wrapper import EmbeddedCore
+from repro.soc.testrail import TestRail as Rail
+from repro.soc.wrapper import (
+    assignment_makespan,
+    lpt_assignment,
+    normalize_chain_lengths,
+    wrapper_segments,
+)
+
+
+class TestLpt:
+    def test_every_chain_assigned_once(self):
+        lengths = [7, 3, 9, 1, 4]
+        ports = lpt_assignment(lengths, 2)
+        flattened = sorted(i for port in ports for i in port)
+        assert flattened == list(range(5))
+
+    def test_balances_classic_case(self):
+        # LPT on {5,5,4,4,3,3} over 2 ports -> perfect 12/12 split.
+        lengths = [5, 5, 4, 4, 3, 3]
+        ports = lpt_assignment(lengths, 2)
+        loads = [sum(lengths[i] for i in port) for port in ports]
+        assert sorted(loads) == [12, 12]
+
+    def test_single_port(self):
+        ports = lpt_assignment([3, 1, 2], 1)
+        assert len(ports) == 1 and sorted(ports[0]) == [0, 1, 2]
+
+    def test_more_ports_than_chains(self):
+        ports = lpt_assignment([5, 2], 4)
+        loads = [sum([5, 2][i] for i in port) for port in ports]
+        assert sorted(loads) == [0, 0, 2, 5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lpt_assignment([1], 0)
+        with pytest.raises(ValueError):
+            lpt_assignment([-1], 2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        lengths=st.lists(st.integers(0, 50), min_size=1, max_size=20),
+        width=st.integers(1, 8),
+    )
+    def test_lpt_within_greedy_bound(self, lengths, width):
+        """Any list schedule satisfies makespan <= avg + max: the last
+        chain placed on the critical port started when that port's load was
+        at most the average."""
+        ports = lpt_assignment(lengths, width)
+        makespan = assignment_makespan(lengths, ports)
+        bound = -(-sum(lengths) // width) + max(lengths)
+        assert makespan <= bound
+        # And never below the trivial lower bound.
+        assert makespan >= max(max(lengths), -(-sum(lengths) // width))
+
+
+class TestNormalize:
+    def test_preserves_total(self):
+        assert sum(normalize_chain_lengths([10, 20, 30], 17)) == 17
+
+    def test_proportions_roughly_kept(self):
+        lengths = normalize_chain_lengths([50, 50], 10)
+        assert lengths == [5, 5]
+
+    def test_zero_chains_dropped(self):
+        lengths = normalize_chain_lengths([100, 1], 5)
+        assert sum(lengths) == 5
+        assert all(v > 0 for v in lengths)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalize_chain_lengths([0, 0], 5)
+        with pytest.raises(ValueError):
+            normalize_chain_lengths([3], -1)
+
+
+class TestWrapperSegments:
+    def test_segments_cover_all_cells(self):
+        runs = wrapper_segments([4, 3, 5], 2)
+        cells = sorted(
+            cell
+            for port in runs
+            for start, end in port
+            for cell in range(start, end)
+        )
+        assert cells == list(range(12))
+
+    def test_chains_stay_whole(self):
+        runs = wrapper_segments([4, 3, 5], 2)
+        expected_runs = {(0, 4), (4, 7), (7, 12)}
+        seen = {run for port in runs for run in port}
+        assert seen == expected_runs
+
+
+class TestRailIntegration:
+    def make_core(self, name, n_ff, seed=0):
+        profile = CircuitProfile(name, 4, 2, n_ff, 40, depth=4)
+        return EmbeddedCore(generate_circuit(profile, seed=seed), num_patterns=8)
+
+    def test_internal_chains_respected(self):
+        core = self.make_core("x", 12)
+        rail = Rail(
+            "w", [core], tam_width=2, internal_chains={"x": [6, 4, 2]}
+        )
+        # Whole internal chains per meta chain: chain boundaries 0-6, 6-10,
+        # 10-12; each meta chain holds whole runs.
+        seen = sorted(c for chain in rail.scan_config.chains for c in chain)
+        assert seen == list(range(12))
+        for chain in rail.scan_config.chains:
+            # runs of consecutive local ids
+            breaks = sum(
+                1 for a, b in zip(chain, chain[1:]) if b != a + 1
+            )
+            assert breaks <= 2  # at most #chains-1 stitches per line
+
+    def test_normalization_against_scaled_core(self):
+        core = self.make_core("y", 10)
+        rail = Rail(
+            "w", [core], tam_width=2, internal_chains={"y": [32, 32, 32]}
+        )
+        assert rail.num_cells == 10
+
+    def test_without_internal_chains_unchanged(self):
+        core = self.make_core("z", 9)
+        rail = Rail("w", [core], tam_width=3)
+        assert [len(c) for c in rail.scan_config.chains] == [3, 3, 3]

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_RUNNERS, diagnose_main, experiment_main, main
+
+
+class TestDiagnose:
+    def test_basic_run(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "5")
+        code = diagnose_main(["s953", "--faults", "5", "--partitions", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "s953" in out
+        assert "DR =" in out
+        assert "sound: 5/5" in out
+
+    def test_prune_and_verbose(self, capsys):
+        code = diagnose_main(
+            ["s953", "--faults", "3", "--prune", "--verbose", "--scheme", "random"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out
+        assert "candidates=" in out
+
+    def test_unknown_circuit_raises(self):
+        with pytest.raises(KeyError):
+            diagnose_main(["nope", "--faults", "1"])
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            diagnose_main(["s953", "--scheme", "magic"])
+
+
+class TestExperiment:
+    def test_figure3(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "6")
+        monkeypatch.setenv("REPRO_FAULTS_LARGE", "3")
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        code = experiment_main(["figure3"])
+        assert code == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_faults_override(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        code = experiment_main(["table1", "--faults", "5"])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            experiment_main(["table99"])
+
+    def test_all_runners_registered(self):
+        expected = {
+            "table1", "table2", "table3", "table4", "figure3", "figure5",
+            "clustering", "ablation-intervals", "ablation-groups",
+            "ablation-aliasing", "ablation-deterministic",
+            "ablation-binary-search", "extension-vectors",
+            "extension-scan-order", "extension-multi-core", "ablation-patterns",
+            "extension-time", "extension-schedule", "extension-atpg",
+            "ablation-error-model",
+        }
+        assert set(EXPERIMENT_RUNNERS) == expected
+
+
+class TestMain:
+    def test_dispatch_requires_command(self, capsys):
+        assert main([]) == 2
+
+    def test_dispatch_diagnose(self, capsys):
+        assert main(["diagnose", "s953", "--faults", "2"]) == 0

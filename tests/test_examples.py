@@ -1,0 +1,47 @@
+"""Smoke tests: the shipped example scripts run end to end.
+
+The two heavyweight walk-throughs (`soc_diagnosis`, `full_reproduction`)
+are exercised through their underlying experiment tests instead; here we
+run the fast ones as real subprocesses so import errors, API drift or
+assertion failures in examples surface in CI.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=120):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "diagnosis sound" in out
+
+    def test_selection_hardware(self):
+        out = run_example("selection_hardware.py")
+        assert "matches the functional interval partitioner" in out
+        assert "matches the functional random-selection partitioner" in out
+
+    def test_tester_view(self):
+        out = run_example("tester_view.py")
+        assert "exact, not an approximation" in out
+
+    def test_scheme_comparison_small(self):
+        out = run_example("scheme_comparison.py", "s953", "15")
+        assert "best DR after" in out
+        for scheme in ("interval", "random", "deterministic", "two-step"):
+            assert scheme in out

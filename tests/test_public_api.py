@@ -1,0 +1,51 @@
+"""The public API surface: everything exported resolves and is importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.circuit",
+    "repro.sim",
+    "repro.bist",
+    "repro.core",
+    "repro.soc",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert getattr(module, name, None) is not None, f"{package}.{name}"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_quick_end_to_end():
+    """Five-line user story from the README quickstart."""
+    import numpy as np
+
+    from repro import (
+        EmbeddedCore,
+        LinearCompactor,
+        ScanConfig,
+        TwoStepPartitioner,
+        diagnose,
+        get_circuit,
+    )
+
+    core = EmbeddedCore(get_circuit("s953"), num_patterns=64)
+    responses = core.sample_fault_responses(3, np.random.default_rng(0))
+    config = ScanConfig.single_chain(core.num_cells)
+    partitions = TwoStepPartitioner(core.num_cells, 4).partitions(4)
+    compactor = LinearCompactor(24, 1)
+    for response in responses:
+        result = diagnose(response, config, partitions, compactor)
+        assert result.actual_cells <= result.candidate_cells

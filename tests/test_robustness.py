@@ -1,0 +1,106 @@
+"""Robustness and edge-case tests across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.bist.golden import run_tester_session
+from repro.bist.misr import LinearCompactor
+from repro.bist.scan import ScanConfig
+from repro.bist.session import collect_error_events
+from repro.cli import diagnose_main
+from repro.core.diagnosis import diagnose
+from repro.core.selection_hw import SelectionHardware
+from repro.core.two_step import make_partitioner
+from repro.sim.bitops import pack_bits
+from repro.sim.faults import Fault
+from repro.sim.faultsim import FaultResponse
+
+
+def make_response(cell_patterns, num_patterns=8):
+    return FaultResponse(
+        Fault("X", 0),
+        {c: pack_bits([1 if p in pats else 0 for p in range(num_patterns)])
+         for c, pats in cell_patterns.items()},
+        num_patterns,
+    )
+
+
+class TestRaggedChains:
+    """Chains of unequal length stress every position/cycle mapping."""
+
+    def config(self):
+        return ScanConfig([[0, 1, 2, 3, 4], [5, 6], [7, 8, 9]])
+
+    def test_diagnosis_on_ragged_config(self):
+        config = self.config()
+        response = make_response({6: [1], 9: [3]})
+        parts = make_partitioner("two-step", config.max_length, 2).partitions(3)
+        result = diagnose(response, config, parts, LinearCompactor(24, 3))
+        assert result.sound
+
+    def test_events_respect_short_chains(self):
+        config = self.config()
+        response = make_response({6: [0]})
+        events = collect_error_events(response, config)
+        assert events == [(1, 1, 1)]  # chain 1, position 1, cycle 1
+
+    def test_golden_flow_on_ragged_config(self):
+        config = self.config()
+        captured = np.vstack([pack_bits([1, 0, 1, 0]) for _ in range(10)])
+        response = make_response({3: [2]}, num_patterns=4)
+        mask = np.ones(config.max_length, dtype=bool)
+        session = run_tester_session(captured, response, config, mask, 16)
+        compactor = LinearCompactor(16, 3)
+        events = collect_error_events(response, config)
+        error_sig = compactor.error_signature(
+            [(ch, cyc) for _p, ch, cyc in events], config.total_cycles(4)
+        )
+        assert (session.golden ^ session.observed) == error_sig
+
+
+class TestDegenerateSizes:
+    def test_single_cell_chain(self):
+        config = ScanConfig.single_chain(1)
+        response = make_response({0: [0]})
+        parts = make_partitioner("deterministic", 1, 1).partitions(2)
+        result = diagnose(response, config, parts, compactor=None)
+        assert result.candidate_cells == {0}
+
+    def test_two_cell_interval_partitions(self):
+        parts = make_partitioner("interval", 2, 2).partitions(2)
+        for part in parts:
+            assert sum(part.group_sizes()) == 2
+
+    def test_selection_hw_tiny_chain(self):
+        hw = SelectionHardware(3, 2, mode="random")
+        masks = hw.run_partition()
+        stacked = np.vstack(masks)
+        assert (stacked.sum(axis=0) == 1).all()
+
+    def test_more_groups_than_cells_interval(self):
+        parts = make_partitioner("interval", 3, 8).partitions(1)
+        assert sum(parts[0].group_sizes()) == 3
+
+
+class TestSelectionHardwareState:
+    def test_interval_ivr_advances_between_partitions(self):
+        hw = SelectionHardware(64, 8, mode="interval")
+        first_seed = hw.ivr.value
+        hw.run_partition()
+        assert hw.ivr.value != first_seed
+
+    def test_random_partitions_differ_across_runs(self):
+        hw = SelectionHardware(64, 4, mode="random")
+        a = hw.partition_from_masks(hw.run_partition())
+        b = hw.partition_from_masks(hw.run_partition())
+        assert not np.array_equal(a.group_of, b.group_of)
+
+
+class TestCliMapFlag:
+    def test_map_output(self, capsys):
+        code = diagnose_main(["s953", "--faults", "2", "--map",
+                              "--partitions", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chain 0" in out
+        assert "exonerated" in out  # legend printed
