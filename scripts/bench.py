@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Performance-trajectory harness: times the pipeline's hot stages and
+writes a machine-readable ``BENCH_PR1.json`` so future PRs can track the
+perf trajectory.
+
+Stages, per benchmark circuit:
+
+* ``workload_build_cold_s`` — circuit generation + compile + golden sim +
+  fault sampling, empty cache.
+* ``workload_build_warm_s`` — same call with the process-wide cache warm.
+* ``fault_sim_s`` / ``faults_per_sec`` — raw fault-simulation throughput
+  over a fixed fault sample.
+* ``evaluate_warm_s`` — end-to-end scheme evaluation (workload build +
+  diagnose, cache warm) with the vectorized kernels.
+* ``seed_evaluate_s`` — the same evaluation through the *seed* code path:
+  per-bit event extraction and the scalar per-event session loop, no
+  cache.  ``end_to_end_speedup`` is the ratio; the two paths must agree on
+  DR bit-for-bit (asserted).
+
+Run:  PYTHONPATH=src python scripts/bench.py [--circuits s953 s5378]
+      [--faults N] [--partitions N] [--out BENCH_PR1.json]
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.bist.misr import LinearCompactor
+from repro.bist.session import run_partition_sessions_scalar
+from repro.experiments.cache import clear_caches
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    build_circuit_workload,
+    evaluate_scheme,
+    scheme_partitions,
+)
+from repro.sim.bitops import WORD_BITS
+from repro.sim.faults import collapse_faults
+from repro.sim.faultsim import FaultSimulator
+from repro.soc.core_wrapper import EmbeddedCore
+
+NUM_GROUPS = 4
+
+
+def seed_collect_events(response, scan_config):
+    """The seed's per-bit event-extraction loop (pre-vectorization)."""
+    events = []
+    for cell, vec in response.cell_errors.items():
+        loc = scan_config.location(cell)
+        for word_idx in range(len(vec)):
+            word = int(vec[word_idx])
+            while word:
+                low = word & -word
+                bit = low.bit_length() - 1
+                pattern = word_idx * WORD_BITS + bit
+                events.append(
+                    (loc.position, loc.chain, scan_config.global_cycle(cell, pattern))
+                )
+                word ^= low
+    return events
+
+
+def seed_evaluate(workload, partitions, compactor):
+    """End-to-end scheme evaluation through the seed code path: per-bit
+    event extraction, scalar per-event sessions, Python mask loops."""
+    num_channels = workload.scan_config.num_chains
+    total_candidates = 0
+    total_actual = 0
+    for response in workload.responses:
+        events = seed_collect_events(response, workload.scan_config)
+        total_cycles = workload.scan_config.total_cycles(response.num_patterns)
+        mask = workload.scan_config.presence_mask()
+        for part in partitions:
+            outcome = run_partition_sessions_scalar(
+                events, part.group_of, part.num_groups, total_cycles,
+                compactor, num_channels=num_channels,
+            )
+            failing = np.zeros((part.num_groups, num_channels), dtype=bool)
+            for g, per_channel in enumerate(outcome.signatures):
+                for w, sig in enumerate(per_channel):
+                    if sig != 0:
+                        failing[g, w] = True
+            mask &= failing[part.group_of, :].T
+        grid = workload.scan_config.cell_id_grid()
+        candidates = {int(c) for c in grid[mask & (grid >= 0)]}
+        actual = set(response.failing_cells)
+        if actual:
+            total_candidates += len(candidates)
+            total_actual += len(actual)
+    return (total_candidates - total_actual) / total_actual
+
+
+def bench_circuit(name, config, num_partitions):
+    timings = {"circuit": name}
+
+    clear_caches()
+    t0 = time.perf_counter()
+    workload = build_circuit_workload(name, config)
+    timings["workload_build_cold_s"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    build_circuit_workload(name, config)
+    timings["workload_build_warm_s"] = time.perf_counter() - t0
+
+    core = EmbeddedCore(_netlist(name, config), num_patterns=config.num_patterns)
+    faults = collapse_faults(core.netlist)
+    sample = faults[: min(len(faults), 400)]
+    sim = FaultSimulator(core.compiled, core._good)
+    t0 = time.perf_counter()
+    sim.simulate_faults(sample)
+    fault_sim_s = time.perf_counter() - t0
+    timings["fault_sim_s"] = fault_sim_s
+    timings["num_faults_simulated"] = len(sample)
+    timings["faults_per_sec"] = len(sample) / fault_sim_s if fault_sim_s else None
+
+    # End-to-end scheme evaluation, cache warm, vectorized kernels.  One
+    # untimed call warms the shared stores (compactor impulse tables,
+    # partition sets) the way any full experiment sweep would.
+    evaluate_scheme(workload, "two-step", num_partitions, NUM_GROUPS, config)
+    t0 = time.perf_counter()
+    evaluation = evaluate_scheme(
+        workload, "two-step", num_partitions, NUM_GROUPS, config
+    )
+    timings["evaluate_warm_s"] = time.perf_counter() - t0
+    timings["dr"] = evaluation.dr
+
+    # The same evaluation through the seed code path (no cache, scalar
+    # kernels).  The compactor is built inside the timed region: the seed
+    # constructed one per evaluation too.
+    partitions = scheme_partitions(
+        "two-step", workload.scan_config.max_length, NUM_GROUPS,
+        num_partitions, lfsr_degree=config.lfsr_degree,
+    )
+    clear_caches()
+    t0 = time.perf_counter()
+    seed_workload = build_circuit_workload(name, config)
+    compactor = LinearCompactor(config.misr_width, seed_workload.scan_config.num_chains)
+    seed_dr = seed_evaluate(seed_workload, partitions, compactor)
+    timings["seed_evaluate_s"] = time.perf_counter() - t0
+    timings["seed_dr"] = seed_dr
+
+    assert seed_dr == evaluation.dr, (
+        f"DR drift on {name}: seed {seed_dr} != vectorized {evaluation.dr}"
+    )
+    # Warm end-to-end = (cached) build + diagnose; the seed always rebuilt.
+    warm_total = timings["workload_build_warm_s"] + timings["evaluate_warm_s"]
+    timings["end_to_end_warm_s"] = warm_total
+    timings["end_to_end_speedup"] = timings["seed_evaluate_s"] / warm_total
+    return timings
+
+
+def _netlist(name, config):
+    from repro.circuit.library import get_circuit
+
+    return get_circuit(name, scale=config.scale)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuits", nargs="+", default=["s953", "s5378"])
+    parser.add_argument("--faults", type=int, default=60)
+    parser.add_argument("--patterns", type=int, default=128)
+    parser.add_argument("--partitions", type=int, default=8)
+    parser.add_argument("--out", default="BENCH_PR1.json")
+    args = parser.parse_args()
+
+    config = ExperimentConfig(
+        num_faults=args.faults, num_faults_large=args.faults,
+        num_patterns=args.patterns,
+    )
+    report = {
+        "pr": 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "config": {
+            "faults": args.faults,
+            "patterns": args.patterns,
+            "partitions": args.partitions,
+            "groups": NUM_GROUPS,
+        },
+        "circuits": [],
+    }
+    for name in args.circuits:
+        print(f"benchmarking {name} ...", flush=True)
+        timings = bench_circuit(name, config, args.partitions)
+        report["circuits"].append(timings)
+        print(
+            f"  build cold {timings['workload_build_cold_s']:.3f}s"
+            f" | warm {timings['workload_build_warm_s'] * 1000:.2f}ms"
+            f" | {timings['faults_per_sec']:.0f} faults/s"
+            f" | evaluate {timings['evaluate_warm_s']:.3f}s"
+            f" | seed path {timings['seed_evaluate_s']:.3f}s"
+            f" | end-to-end speedup {timings['end_to_end_speedup']:.1f}x"
+        )
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

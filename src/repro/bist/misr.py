@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from .lfsr import PRIMITIVE_TAPS
 
 
@@ -101,6 +103,10 @@ class LinearCompactor:
     signature is the XOR of all contributions — linearity of the MISR.
     """
 
+    #: Longest impulse-response table that will be materialized (entries);
+    #: longer step counts fall back to square-and-multiply.
+    TABLE_LIMIT = 1 << 22
+
     def __init__(self, width: int = 16, num_inputs: int = 1, max_cycles_log2: int = 40):
         self.width = width
         self.num_inputs = num_inputs
@@ -113,6 +119,9 @@ class LinearCompactor:
             prev = self._powers[-1]
             self._powers.append(_mat_mul(prev, prev))
         self._response_cache: Dict[Tuple[int, int], int] = {}
+        self._poly = _char_poly_mask(width)
+        self._state_mask = (1 << width) - 1
+        self._tables: Dict[int, "np.ndarray"] = {}
 
     def _apply_power(self, exponent: int, vector: int) -> int:
         """``A**exponent @ vector`` over GF(2)."""
@@ -153,6 +162,83 @@ class LinearCompactor:
             signature ^= self.impulse_response(channel, total_cycles - 1 - cycle)
         return signature
 
+    def impulse_table(self, channel: int, max_steps: int) -> "np.ndarray":
+        """``A**s @ inject_c`` for ``s = 0 .. max_steps`` as a ``uint64``
+        array, built by iterating the O(1) Galois step and cached (grown on
+        demand).  One table serves every partition, session and fault of a
+        workload — the batch kernel reduces to a single gather."""
+        table = self._tables.get(channel)
+        if table is not None and table.size > max_steps:
+            return table
+        start = 0 if table is None else table.size
+        grown = np.empty(max_steps + 1, dtype=np.uint64)
+        if table is not None:
+            grown[:start] = table
+        poly, state_mask, top_bit = self._poly, self._state_mask, self.width - 1
+        if start == 0:
+            state = 1 << self.input_stages[channel]
+            grown[0] = state
+            start = 1
+        else:
+            state = int(grown[start - 1])
+        for s in range(start, max_steps + 1):
+            top = (state >> top_bit) & 1
+            state = (state << 1) & state_mask
+            if top:
+                state ^= poly
+            grown[s] = state
+        self._tables[channel] = grown
+        return grown
+
+    def batch_impulse_responses(
+        self, channels: "np.ndarray", steps_remaining: "np.ndarray"
+    ) -> "np.ndarray":
+        """Vectorized :meth:`impulse_response` over parallel event arrays.
+
+        For session-scale step counts this is a table lookup per channel
+        (see :meth:`impulse_table`); beyond :attr:`TABLE_LIMIT` it falls
+        back to square-and-multiply over GF(2) with the whole event
+        population advanced at once — for each set bit ``k`` of the
+        exponents, the affected state vectors are multiplied by
+        ``A**(2**k)`` in a single sweep over the register's columns.
+        Signatures fit ``uint64`` because
+        :data:`~repro.bist.lfsr.PRIMITIVE_TAPS` caps the width at 32.
+        """
+        channels = np.asarray(channels, dtype=np.int64)
+        exponents = np.asarray(steps_remaining, dtype=np.int64)
+        if np.any(exponents < 0):
+            raise ValueError("steps_remaining must be non-negative")
+        if exponents.size == 0:
+            return np.zeros(0, dtype=np.uint64)
+        max_step = int(exponents.max())
+        if max_step < self.TABLE_LIMIT:
+            out = np.empty(exponents.shape, dtype=np.uint64)
+            for channel in np.unique(channels):
+                selected = channels == channel
+                out[selected] = self.impulse_table(int(channel), max_step)[
+                    exponents[selected]
+                ]
+            return out
+        stages = np.asarray(self.input_stages, dtype=np.uint64)
+        vectors = np.uint64(1) << stages[channels]
+        exponents = exponents.copy()
+        k = 0
+        while np.any(exponents):
+            if k >= len(self._powers):
+                raise ValueError("cycle count exceeds precomputed matrix powers")
+            active = (exponents & 1).astype(bool)
+            if np.any(active):
+                columns = np.asarray(self._powers[k], dtype=np.uint64)
+                sub = vectors[active]
+                out = np.zeros_like(sub)
+                for j in range(self.width):
+                    taken = ((sub >> np.uint64(j)) & np.uint64(1)).astype(bool)
+                    out[taken] ^= columns[j]
+                vectors[active] = out
+            exponents >>= 1
+            k += 1
+        return vectors
+
 
 class ParityCompactor:
     """Single-XOR (parity) response compaction — the degenerate width-1
@@ -190,6 +276,18 @@ class ParityCompactor:
                 raise ValueError(f"cycle {cycle} outside session of {total_cycles}")
             signature ^= self.impulse_response(channel, total_cycles - 1 - cycle)
         return signature
+
+    def batch_impulse_responses(
+        self, channels: "np.ndarray", steps_remaining: "np.ndarray"
+    ) -> "np.ndarray":
+        """Vectorized impulse responses: every event contributes parity 1."""
+        channels = np.asarray(channels, dtype=np.int64)
+        steps = np.asarray(steps_remaining, dtype=np.int64)
+        if np.any(channels < 0) or np.any(channels >= self.num_inputs):
+            raise ValueError("channel out of range")
+        if np.any(steps < 0):
+            raise ValueError("steps_remaining must be non-negative")
+        return np.ones(channels.shape, dtype=np.uint64)
 
 
 def _mat_vec(columns: Sequence[int], vector: int) -> int:

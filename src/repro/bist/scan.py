@@ -48,6 +48,10 @@ class ScanConfig:
         if sorted(self._location) != list(range(self.num_cells)):
             raise ValueError("cell ids must be exactly 0..num_cells-1")
         self.max_length = max(len(c) for c in self.chains)
+        # Lazily-built derived arrays (the configuration is immutable).
+        self._presence_mask = None
+        self._cell_id_grid = None
+        self._location_arrays = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -105,20 +109,39 @@ class ScanConfig:
 
     def presence_mask(self) -> "np.ndarray":
         """Boolean array ``[chain, position]``: True where a cell exists
-        (ragged chains leave trailing positions empty)."""
+        (ragged chains leave trailing positions empty).  Built once and
+        copied out (callers intersect into it in place)."""
         import numpy as np
 
-        mask = np.zeros((self.num_chains, self.max_length), dtype=bool)
-        for w, chain in enumerate(self.chains):
-            mask[w, : len(chain)] = True
-        return mask
+        if self._presence_mask is None:
+            mask = np.zeros((self.num_chains, self.max_length), dtype=bool)
+            for w, chain in enumerate(self.chains):
+                mask[w, : len(chain)] = True
+            self._presence_mask = mask
+        return self._presence_mask.copy()
 
     def cell_id_grid(self) -> "np.ndarray":
         """Integer array ``[chain, position]`` of global cell ids (-1 where
-        no cell exists)."""
+        no cell exists).  Cached; treat as read-only."""
         import numpy as np
 
-        grid = np.full((self.num_chains, self.max_length), -1, dtype=np.int64)
-        for w, chain in enumerate(self.chains):
-            grid[w, : len(chain)] = chain
-        return grid
+        if self._cell_id_grid is None:
+            grid = np.full((self.num_chains, self.max_length), -1, dtype=np.int64)
+            for w, chain in enumerate(self.chains):
+                grid[w, : len(chain)] = chain
+            self._cell_id_grid = grid
+        return self._cell_id_grid
+
+    def location_arrays(self) -> Tuple["np.ndarray", "np.ndarray"]:
+        """``(positions, chains)`` indexed by global cell id — the lookup
+        tables the vectorized event extraction gathers through (cached)."""
+        import numpy as np
+
+        if self._location_arrays is None:
+            positions = np.empty(self.num_cells, dtype=np.int64)
+            chains = np.empty(self.num_cells, dtype=np.int64)
+            for cell, loc in self._location.items():
+                positions[cell] = loc.position
+                chains[cell] = loc.chain
+            self._location_arrays = (positions, chains)
+        return self._location_arrays

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..bist.misr import LinearCompactor
 from ..bist.scan import ScanConfig
-from ..bist.session import collect_error_events
+from ..bist.session import collect_error_event_arrays, event_contributions
 from ..sim.faultsim import FaultResponse
 
 
@@ -49,19 +49,32 @@ def binary_search_diagnose(
     resolution).  ``session_budget`` optionally caps the number of sessions;
     regions still open when the budget runs out stay in the candidate set.
     """
-    events = collect_error_events(response, scan_config)
+    events = collect_error_event_arrays(response, scan_config)
     total_cycles = scan_config.total_cycles(response.num_patterns)
     length = scan_config.max_length
+    # Contributions are region-independent: one batch evaluation serves
+    # every session of the adaptive search.
+    if compactor is not None and hasattr(compactor, "batch_impulse_responses"):
+        contributions = event_contributions(events, compactor, total_cycles)
+    else:
+        contributions = None
 
     def region_fails(start: int, end: int) -> bool:
-        selected = [
-            (pos, ch, cyc) for (pos, ch, cyc) in events if start <= pos < end
-        ]
+        in_region = (events.positions >= start) & (events.positions < end)
         if compactor is None:
-            return bool(selected)
+            return bool(in_region.any())
+        if contributions is not None:
+            if not in_region.any():
+                return False
+            signature = int(np.bitwise_xor.reduce(contributions[in_region]))
+            return signature != 0
         signature = 0
-        for _pos, channel, cycle in selected:
-            signature ^= compactor.impulse_response(channel, total_cycles - 1 - cycle)
+        for channel, cycle in zip(
+            events.channels[in_region], events.cycles[in_region]
+        ):
+            signature ^= compactor.impulse_response(
+                int(channel), total_cycles - 1 - int(cycle)
+            )
         return signature != 0
 
     sessions = 0

@@ -20,7 +20,13 @@ import numpy as np
 
 from ..bist.misr import LinearCompactor
 from ..bist.scan import ScanConfig
-from ..bist.session import SessionOutcome, collect_error_events, run_partition_sessions
+from ..bist.session import (
+    SessionOutcome,
+    collect_error_event_arrays,
+    event_contributions,
+    run_partition_sessions,
+    sessions_for_partitions,
+)
 from ..sim.faultsim import FaultResponse
 from .partitions import Partition, validate_partition_set
 
@@ -82,22 +88,36 @@ def diagnose(
             f"partition length {length} != scan configuration length "
             f"{scan_config.max_length}"
         )
-    events = collect_error_events(response, scan_config)
+    events = collect_error_event_arrays(response, scan_config)
     total_cycles = scan_config.total_cycles(response.num_patterns)
     num_channels = scan_config.num_chains
+
+    # Impulse responses depend only on (channel, cycle), never on the
+    # partition, so one batch evaluation and one signature scatter serve
+    # every session of every partition.
+    batched = compactor is None or hasattr(compactor, "batch_impulse_responses")
+    if batched:
+        contributions = event_contributions(events, compactor, total_cycles)
+        session_outcomes = sessions_for_partitions(
+            events, contributions, partitions, num_channels
+        )
+    else:
+        session_outcomes = [
+            run_partition_sessions(
+                events,
+                part.group_of,
+                part.num_groups,
+                total_cycles,
+                compactor,
+                num_channels=num_channels,
+            )
+            for part in partitions
+        ]
 
     outcomes: List[SessionOutcome] = []
     mask = scan_config.presence_mask()  # [chain, position]
     history: List[int] = []
-    for part in partitions:
-        outcome = run_partition_sessions(
-            events,
-            part.group_of,
-            part.num_groups,
-            total_cycles,
-            compactor,
-            num_channels=num_channels,
-        )
+    for part, outcome in zip(partitions, session_outcomes):
         if not channel_resolution:
             collapsed = outcome.combined(exact=compactor is None)
             failing = collapsed.failing_matrix(1)[:, 0]  # [group]

@@ -26,7 +26,7 @@ import numpy as np
 
 from ..bist.misr import LinearCompactor
 from ..bist.scan import ScanConfig
-from ..bist.session import collect_error_events
+from ..bist.session import collect_error_event_arrays, event_contributions
 from ..sim.faultsim import FaultResponse
 from .partitions import Partition, validate_partition_set
 
@@ -50,17 +50,13 @@ class VectorDiagnosisResult:
 
 def failing_vectors(response: FaultResponse) -> Set[int]:
     """Patterns under which at least one scan cell captured an error."""
-    from ..sim.bitops import WORD_BITS
-
-    vectors: Set[int] = set()
-    for vec in response.cell_errors.values():
-        for word_idx in range(len(vec)):
-            word = int(vec[word_idx])
-            while word:
-                low = word & -word
-                vectors.add(word_idx * WORD_BITS + (low.bit_length() - 1))
-                word ^= low
-    return vectors
+    if not response.cell_errors:
+        return set()
+    combined = np.bitwise_or.reduce(
+        np.stack(list(response.cell_errors.values())), axis=0
+    )
+    bits = np.unpackbits(combined.view(np.uint8), bitorder="little")
+    return {int(p) for p in np.flatnonzero(bits)}
 
 
 def diagnose_vectors(
@@ -84,27 +80,37 @@ def diagnose_vectors(
             f"partition length {partitions[0].length} != number of patterns "
             f"{response.num_patterns}"
         )
-    events = collect_error_events(response, scan_config)
+    events = collect_error_event_arrays(response, scan_config)
     chain_cycles = scan_config.max_length
     total_cycles = scan_config.total_cycles(response.num_patterns)
+
+    # Within a session, only the selected patterns' unload windows drive the
+    # compactor; the per-pattern window keeps its global timing so
+    # signatures stay comparable.  Contributions are partition-independent,
+    # so one batch evaluation serves all partitions.
+    batched = compactor is None or hasattr(compactor, "batch_impulse_responses")
+    if batched:
+        contributions = event_contributions(events, compactor, total_cycles)
+    event_patterns = events.cycles // chain_cycles
 
     mask = np.ones(response.num_patterns, dtype=bool)
     history: List[int] = []
     for part in partitions:
-        signatures = [0] * part.num_groups
-        for _position, channel, cycle in events:
-            pattern = cycle // chain_cycles
-            group = int(part.group_of[pattern])
-            if compactor is None:
-                signatures[group] = 1
-            else:
-                # Within a session, only the selected patterns' unload
-                # windows drive the compactor; the per-pattern window keeps
-                # its global timing so signatures stay comparable.
-                signatures[group] ^= compactor.impulse_response(
-                    channel, total_cycles - 1 - cycle
+        groups = part.group_of[event_patterns]
+        if compactor is None:
+            failing = np.zeros(part.num_groups, dtype=bool)
+            failing[groups] = True
+        elif batched:
+            signatures = np.zeros(part.num_groups, dtype=np.uint64)
+            np.bitwise_xor.at(signatures, groups, contributions)
+            failing = signatures != 0
+        else:
+            scalar = [0] * part.num_groups
+            for group, channel, cycle in zip(groups, events.channels, events.cycles):
+                scalar[int(group)] ^= compactor.impulse_response(
+                    int(channel), total_cycles - 1 - int(cycle)
                 )
-        failing = np.array([sig != 0 for sig in signatures])
+            failing = np.array([sig != 0 for sig in scalar])
         mask &= failing[part.group_of]
         history.append(int(mask.sum()))
 

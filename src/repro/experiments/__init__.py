@@ -9,6 +9,7 @@ from .ablations import (
     run_interval_count_ablation,
 )
 from .atpg_topup import run_atpg_topup
+from .cache import cache_stats, clear_caches
 from .clustering import run_clustering
 from .config import ExperimentConfig, default_config, paper_config
 from .error_model import run_error_model_ablation
@@ -40,6 +41,8 @@ __all__ = [
     "Workload",
     "build_circuit_workload",
     "build_soc_workloads",
+    "cache_stats",
+    "clear_caches",
     "default_config",
     "evaluate_scheme",
     "paper_config",

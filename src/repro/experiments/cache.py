@@ -1,0 +1,108 @@
+"""Process-wide memoized store for workloads and partition sets.
+
+Every experiment module used to rebuild its circuit, golden simulation and
+fault responses from scratch (``run_table1``, the ablations and the
+extensions all call ``build_circuit_workload`` independently), so a full
+reproduction run compiled and fault-simulated each benchmark many times
+over.  Workloads are pure functions of their configuration — circuit name,
+scale, pattern count, fault seed and fault count — and partition sets are
+pure functions of the partitioner signature, so both can be memoized for
+the lifetime of the process without changing a single number.
+
+Keys must capture *every* input that influences the value:
+
+* workloads: ``(circuit, scale, num_patterns, fault_seed, fault_count)``
+* SOC workloads: the SOC fingerprint (name, per-core shapes, the exact
+  meta-chain stitching) plus the fault seed and per-core fault counts
+* partition sets: the full partitioner signature ``(scheme, length,
+  num_groups, num_partitions, lfsr_degree, seed,
+  num_interval_partitions)``
+
+Set ``REPRO_CACHE=0`` to disable (every lookup misses); ``clear_caches()``
+empties the store, e.g. between benchmark timing passes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+_LOCK = threading.RLock()
+_STORE: Dict[Tuple[str, Hashable], Any] = {}
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, per cache kind."""
+
+    hits: Dict[str, int] = field(default_factory=dict)
+    misses: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, hit: bool) -> None:
+        table = self.hits if hit else self.misses
+        table[kind] = table.get(kind, 0) + 1
+
+
+_STATS = CacheStats()
+
+
+def cache_enabled() -> bool:
+    """The cache honours ``REPRO_CACHE`` (default on; ``0`` disables)."""
+    return os.environ.get("REPRO_CACHE", "1").strip() != "0"
+
+
+def memoized(kind: str, key: Hashable, builder: Callable[[], Any]) -> Any:
+    """Return the cached value for ``(kind, key)``, building it on a miss.
+
+    With the cache disabled the builder runs unconditionally and nothing is
+    stored — the call is then exactly the uncached code path.
+    """
+    if not cache_enabled():
+        with _LOCK:
+            _STATS.record(kind, hit=False)
+        return builder()
+    full_key = (kind, key)
+    with _LOCK:
+        if full_key in _STORE:
+            _STATS.record(kind, hit=True)
+            return _STORE[full_key]
+    # Build outside the lock: workload construction is expensive and two
+    # threads racing on the same key deterministically build equal values.
+    value = builder()
+    with _LOCK:
+        _STATS.record(kind, hit=False)
+        return _STORE.setdefault(full_key, value)
+
+
+def clear_caches() -> None:
+    """Empty the store and reset the counters."""
+    with _LOCK:
+        _STORE.clear()
+        _STATS.hits.clear()
+        _STATS.misses.clear()
+
+
+def cache_stats() -> CacheStats:
+    """A snapshot of the hit/miss counters."""
+    with _LOCK:
+        return CacheStats(hits=dict(_STATS.hits), misses=dict(_STATS.misses))
+
+
+def cache_size() -> int:
+    with _LOCK:
+        return len(_STORE)
+
+
+def soc_fingerprint(soc) -> Hashable:
+    """A hashable identity for a stitched SOC: which cores, their shapes,
+    and the exact cell-to-meta-chain stitching (the lifted responses depend
+    on all of it)."""
+    return (
+        soc.name,
+        tuple(
+            (core.name, core.num_cells, core.num_patterns) for core in soc.cores
+        ),
+        tuple(tuple(chain) for chain in soc.scan_config.chains),
+    )

@@ -20,9 +20,11 @@ from ..core.diagnosis import DiagnosisResult, diagnose, diagnostic_resolution
 from ..core.partitions import Partition
 from ..core.superposition import apply_superposition
 from ..core.two_step import make_partitioner
+from ..parallel import parallel_map
 from ..sim.faultsim import FaultResponse
 from ..soc.core_wrapper import EmbeddedCore
 from ..soc.testrail import TestRail
+from . import cache
 from .config import ExperimentConfig
 
 
@@ -43,13 +45,29 @@ class Workload:
 def build_circuit_workload(
     circuit_name: str, config: ExperimentConfig, num_patterns: Optional[int] = None
 ) -> Workload:
-    """Single-scan-chain workload for one benchmark circuit."""
+    """Single-scan-chain workload for one benchmark circuit.
+
+    Workloads are pure functions of ``(circuit, scale, num_patterns,
+    fault_seed, fault_count)`` and are memoized process-wide — a full
+    reproduction run compiles and fault-simulates each benchmark once.
+    """
     patterns = num_patterns or config.num_patterns
+    fault_count = config.faults_for(circuit_name)
+    key = (circuit_name, config.scale, patterns, config.fault_seed, fault_count)
+    return cache.memoized(
+        "workload", key,
+        lambda: _build_circuit_workload(circuit_name, config, patterns, fault_count),
+    )
+
+
+def _build_circuit_workload(
+    circuit_name: str, config: ExperimentConfig, patterns: int, fault_count: int
+) -> Workload:
     core = EmbeddedCore(
         _get_circuit(circuit_name, config), num_patterns=patterns
     )
     rng = np.random.default_rng(config.fault_seed ^ hash_name(circuit_name))
-    responses = core.sample_fault_responses(config.faults_for(circuit_name), rng)
+    responses = core.sample_fault_responses(fault_count, rng)
     return Workload(
         name=circuit_name,
         scan_config=ScanConfig.single_chain(core.num_cells),
@@ -63,7 +81,21 @@ def build_soc_workloads(
 ) -> Dict[str, Workload]:
     """One workload per faulty core: faults injected in that core only, with
     responses lifted onto the SOC's meta scan chains (the paper's "only one
-    core contains failing scan cells" protocol)."""
+    core contains failing scan cells" protocol).  Memoized on the SOC's
+    fingerprint plus the fault-sampling knobs."""
+    key = (
+        cache.soc_fingerprint(soc),
+        config.fault_seed,
+        tuple(config.faults_for(core.name) for core in soc.cores),
+    )
+    return cache.memoized(
+        "soc-workloads", key, lambda: _build_soc_workloads(soc, config)
+    )
+
+
+def _build_soc_workloads(
+    soc: TestRail, config: ExperimentConfig
+) -> Dict[str, Workload]:
     workloads: Dict[str, Workload] = {}
     for core_index, core in enumerate(soc.cores):
         rng = np.random.default_rng(config.fault_seed ^ hash_name(core.name))
@@ -87,16 +119,29 @@ def scheme_partitions(
     seed: Optional[int] = None,
     num_interval_partitions: int = 1,
 ) -> List[Partition]:
-    """The fixed partition sequence a scheme would burn into the BIST flow."""
-    partitioner = make_partitioner(
-        scheme,
-        length,
-        num_groups,
-        lfsr_degree=lfsr_degree,
-        seed=seed,
-        num_interval_partitions=num_interval_partitions,
+    """The fixed partition sequence a scheme would burn into the BIST flow.
+
+    Memoized on the full partitioner signature; partitions are frozen, so
+    the cached list is shared (a fresh outer list guards against callers
+    mutating the sequence itself).
+    """
+    key = (
+        scheme, length, num_groups, num_partitions,
+        lfsr_degree, seed, num_interval_partitions,
     )
-    return partitioner.partitions(num_partitions)
+    return list(
+        cache.memoized(
+            "partitions", key,
+            lambda: make_partitioner(
+                scheme,
+                length,
+                num_groups,
+                lfsr_degree=lfsr_degree,
+                seed=seed,
+                num_interval_partitions=num_interval_partitions,
+            ).partitions(num_partitions),
+        )
+    )
 
 
 @dataclass
@@ -119,8 +164,15 @@ def evaluate_scheme(
     with_pruning: bool = False,
     compactor: Optional[LinearCompactor] = None,
     num_interval_partitions: int = 1,
+    workers: Optional[int] = None,
 ) -> SchemeEvaluation:
-    """Diagnose every sampled fault of the workload under one scheme."""
+    """Diagnose every sampled fault of the workload under one scheme.
+
+    Faults diagnose independently, so ``workers > 1`` fans the population
+    out over a fork-based process pool (``workers=None`` reads
+    ``REPRO_WORKERS``, default serial).  Results and DR are bit-identical
+    to the serial loop for any worker count.
+    """
     partitions = scheme_partitions(
         scheme,
         workload.scan_config.max_length,
@@ -130,13 +182,18 @@ def evaluate_scheme(
         num_interval_partitions=num_interval_partitions,
     )
     if compactor is None:
-        compactor = LinearCompactor(
-            config.misr_width, workload.scan_config.num_chains
+        # Compactors are pure functions of (width, channel count); sharing
+        # one instance shares its impulse-response tables across schemes.
+        width, chains = config.misr_width, workload.scan_config.num_chains
+        compactor = cache.memoized(
+            "compactor", (width, chains), lambda: LinearCompactor(width, chains)
         )
-    results = [
-        diagnose(response, workload.scan_config, partitions, compactor)
-        for response in workload.responses
-    ]
+    responses = workload.responses
+    results = parallel_map(
+        lambda i: diagnose(responses[i], workload.scan_config, partitions, compactor),
+        len(responses),
+        workers,
+    )
     dr = diagnostic_resolution(results)
     dr_pruned = None
     pruned_results: List[DiagnosisResult] = []

@@ -1,0 +1,104 @@
+"""Opt-in fork-based worker pool for embarrassingly parallel populations.
+
+Faults are independent of each other and so are the per-fault diagnosis
+runs, so both :meth:`repro.sim.faultsim.FaultSimulator.simulate_faults` and
+:func:`repro.experiments.runner.evaluate_scheme` can fan their population
+out over processes.  The pool is **opt-in** (``workers`` argument, or the
+``REPRO_WORKERS`` environment variable; default 0 = serial) and falls back
+to the serial loop whenever forking is unavailable (Windows, exotic
+interpreters) or the population is too small to amortize the fork.
+
+The task callable is handed to children by **fork inheritance**: the parent
+parks it in a module global, forks the pool, and submits plain index
+chunks — nothing but small index lists and the results ever cross the
+pipe.  Chunks are contiguous and reassembled in index order, so results are
+bit-identical to the serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+#: Populations smaller than this never fork (the pool costs more than it saves).
+MIN_PARALLEL_ITEMS = 8
+
+#: Target number of chunks per worker (load balancing without tiny tasks).
+CHUNKS_PER_WORKER = 4
+
+_ACTIVE_TASK: Optional[Callable[[int], Any]] = None
+
+
+def fork_available() -> bool:
+    """True when a fork-based pool can run (never on Windows)."""
+    if sys.platform == "win32":
+        return False
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:
+        return False
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Normalize a worker request.
+
+    ``None`` reads ``REPRO_WORKERS`` (default 0 = serial); any negative
+    value means "all cores".  The result is the worker count to use, where
+    0 and 1 both mean the serial loop.
+    """
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        workers = int(raw) if raw else 0
+    if workers < 0:
+        workers = os.cpu_count() or 1
+    return workers
+
+
+def _run_chunk(indices: Sequence[int]) -> List[Any]:
+    assert _ACTIVE_TASK is not None, "worker forked outside parallel_map"
+    return [_ACTIVE_TASK(i) for i in indices]
+
+
+def _chunk_indices(num_items: int, workers: int) -> List[List[int]]:
+    num_chunks = min(num_items, workers * CHUNKS_PER_WORKER)
+    base = num_items // num_chunks
+    extra = num_items % num_chunks
+    chunks = []
+    start = 0
+    for c in range(num_chunks):
+        size = base + (1 if c < extra else 0)
+        chunks.append(list(range(start, start + size)))
+        start += size
+    return chunks
+
+
+def parallel_map(
+    task: Callable[[int], Any],
+    num_items: int,
+    workers: Optional[int] = None,
+    min_items: int = MIN_PARALLEL_ITEMS,
+) -> List[Any]:
+    """``[task(0), task(1), ..., task(num_items-1)]``, possibly forked.
+
+    Order (and therefore every downstream number) is identical to the
+    serial loop regardless of the worker count.
+    """
+    workers = resolve_workers(workers)
+    if workers <= 1 or num_items < max(min_items, 2) or not fork_available():
+        return [task(i) for i in range(num_items)]
+    global _ACTIVE_TASK
+    if _ACTIVE_TASK is not None:
+        # Nested parallelism: the inner level runs serially.
+        return [task(i) for i in range(num_items)]
+    workers = min(workers, num_items)
+    context = multiprocessing.get_context("fork")
+    _ACTIVE_TASK = task
+    try:
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            chunk_results = list(pool.map(_run_chunk, _chunk_indices(num_items, workers)))
+    finally:
+        _ACTIVE_TASK = None
+    return [result for chunk in chunk_results for result in chunk]

@@ -58,11 +58,22 @@ def get_bit(vec: np.ndarray, pattern: int) -> int:
     return (int(vec[pattern // WORD_BITS]) >> (pattern % WORD_BITS)) & 1
 
 
-def popcount(vec: np.ndarray) -> int:
-    """Number of set bits across the whole word vector."""
-    # np.uint64 has no vectorized popcount before numpy 2; view as bytes and
-    # use the unpackbits path, which is fast enough for our vector sizes.
-    return int(np.unpackbits(vec.view(np.uint8)).sum())
+# Per-byte set-bit counts, the fallback when numpy lacks a native popcount.
+_BYTE_POPCOUNT = np.array(
+    [bin(b).count("1") for b in range(256)], dtype=np.uint8
+)
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2
+
+    def popcount(vec: np.ndarray) -> int:
+        """Number of set bits across the whole word vector."""
+        return int(np.bitwise_count(vec).sum())
+
+else:
+
+    def popcount(vec: np.ndarray) -> int:
+        """Number of set bits across the whole word vector."""
+        return int(_BYTE_POPCOUNT[vec.view(np.uint8)].sum())
 
 
 def any_bit(vec: np.ndarray) -> bool:

@@ -12,13 +12,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..parallel import parallel_map
 from .bitops import any_bit, num_words, pattern_mask, popcount
 from .faults import Fault
-from .logicsim import CompiledCircuit, SimResult
+from .logicsim import CompiledCircuit, SimResult, _combine
 
 
 @dataclass
@@ -165,18 +166,27 @@ class FaultSimulator:
     def _eval_with_overrides(
         self, net_idx: int, overrides: Dict[int, np.ndarray]
     ) -> np.ndarray:
-        fanins = self.compiled.gate_fanins(net_idx)
+        _out, op, invert, fanins = self.compiled.gate_op(net_idx)
         if not any(src in overrides for src in fanins):
             return self.good.values[net_idx]
         operands = [overrides.get(src, self.good.values[src]) for src in fanins]
-        from .logicsim import _BASE_OP, _combine  # private but package-internal
-
-        gate = self.compiled.netlist.gates[self.compiled.net_order[net_idx]]
-        op, invert = _BASE_OP[gate.gtype]
         return _combine(operands, op, invert, self._mask)
 
-    def simulate_faults(self, faults: Sequence[Fault]) -> List[FaultResponse]:
-        return [self.simulate_fault(f) for f in faults]
+    def simulate_faults(
+        self, faults: Sequence[Fault], workers: Optional[int] = None
+    ) -> List[FaultResponse]:
+        """Error matrices for a fault population, in input order.
+
+        Faults are independent, so ``workers > 1`` fans the population out
+        over a fork-based process pool (``workers=None`` reads
+        ``REPRO_WORKERS``, default serial; small populations and platforms
+        without fork always run serially).  Results are bit-identical to
+        the serial loop.
+        """
+        faults = list(faults)
+        return parallel_map(
+            lambda i: self.simulate_fault(faults[i]), len(faults), workers
+        )
 
 
 def merge_responses(responses: Sequence[FaultResponse]) -> FaultResponse:

@@ -158,6 +158,12 @@ class CompiledCircuit:
     def gate_fanins(self, net_idx: int) -> Tuple[int, ...]:
         return self._ops_by_net[net_idx][3]
 
+    def gate_op(self, net_idx: int) -> Tuple[int, int, bool, Tuple[int, ...]]:
+        """Compiled ``(out, opcode, invert, fanins)`` entry for one net —
+        the per-gate record hot loops should use instead of re-resolving
+        the gate through the netlist dict."""
+        return self._ops_by_net[net_idx]
+
     def evaluate_net_with_forced_fanin(
         self,
         values: np.ndarray,
