@@ -8,7 +8,11 @@ table itself (printed; run pytest with ``-s`` to see it inline) plus the
 wall-clock cost of a full diagnosis campaign.
 """
 
+import os
+
 import pytest
+
+os.environ.setdefault("REPRO_LOG", "quiet")
 
 
 def run_once(benchmark, fn, *args, **kwargs):

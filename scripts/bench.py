@@ -1,6 +1,6 @@
 #!/usr/bin/env python
 """Performance-trajectory harness: times the pipeline's hot stages and
-writes a machine-readable ``BENCH_PR1.json`` so future PRs can track the
+writes a machine-readable ``BENCH_PR2.json`` so future PRs can track the
 perf trajectory.
 
 Stages, per benchmark circuit:
@@ -17,8 +17,19 @@ Stages, per benchmark circuit:
   cache.  ``end_to_end_speedup`` is the ratio; the two paths must agree on
   DR bit-for-bit (asserted).
 
+All timing passes run with tracing **disabled** (the telemetry no-op
+path).  A separate traced pass afterwards collects the span rollup and
+metric totals that are embedded under ``"telemetry"`` — so the report
+carries both the wall-clock trajectory and where the time went.
+
+The previous trajectory file (``--prev``, default ``BENCH_PR1.json``) is
+optional: when present, per-circuit wall-clock and per-stage telemetry
+deltas are recorded under ``"deltas_vs_prev"``; when absent the report
+simply omits them.
+
 Run:  PYTHONPATH=src python scripts/bench.py [--circuits s953 s5378]
-      [--faults N] [--partitions N] [--out BENCH_PR1.json]
+      [--faults N] [--partitions N] [--out BENCH_PR2.json]
+      [--prev BENCH_PR1.json]
 """
 
 import argparse
@@ -32,6 +43,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
+from repro import telemetry
 from repro.bist.misr import LinearCompactor
 from repro.bist.session import run_partition_sessions_scalar
 from repro.experiments.cache import clear_caches
@@ -45,8 +57,10 @@ from repro.sim.bitops import WORD_BITS
 from repro.sim.faults import collapse_faults
 from repro.sim.faultsim import FaultSimulator
 from repro.soc.core_wrapper import EmbeddedCore
+from repro.telemetry import log
 
 NUM_GROUPS = 4
+PR_NUMBER = 2
 
 
 def seed_collect_events(response, scan_config):
@@ -97,6 +111,25 @@ def seed_evaluate(workload, partitions, compactor):
     return (total_candidates - total_actual) / total_actual
 
 
+def best_of(repeats, fn):
+    """Minimum wall time over ``repeats`` calls, plus the last result.
+
+    The timed regions here are tens of milliseconds; a single
+    ``perf_counter`` sample swings tens of percent with scheduler noise,
+    which would drown the <2% overhead budget this file polices.  The
+    minimum is the standard noise-robust estimator for repeatable work.
+    """
+    best = None
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
 def bench_circuit(name, config, num_partitions):
     timings = {"circuit": name}
 
@@ -105,17 +138,15 @@ def bench_circuit(name, config, num_partitions):
     workload = build_circuit_workload(name, config)
     timings["workload_build_cold_s"] = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    build_circuit_workload(name, config)
-    timings["workload_build_warm_s"] = time.perf_counter() - t0
+    timings["workload_build_warm_s"], _ = best_of(
+        3, lambda: build_circuit_workload(name, config)
+    )
 
     core = EmbeddedCore(_netlist(name, config), num_patterns=config.num_patterns)
     faults = collapse_faults(core.netlist)
     sample = faults[: min(len(faults), 400)]
     sim = FaultSimulator(core.compiled, core._good)
-    t0 = time.perf_counter()
-    sim.simulate_faults(sample)
-    fault_sim_s = time.perf_counter() - t0
+    fault_sim_s, _ = best_of(3, lambda: sim.simulate_faults(sample))
     timings["fault_sim_s"] = fault_sim_s
     timings["num_faults_simulated"] = len(sample)
     timings["faults_per_sec"] = len(sample) / fault_sim_s if fault_sim_s else None
@@ -124,11 +155,12 @@ def bench_circuit(name, config, num_partitions):
     # untimed call warms the shared stores (compactor impulse tables,
     # partition sets) the way any full experiment sweep would.
     evaluate_scheme(workload, "two-step", num_partitions, NUM_GROUPS, config)
-    t0 = time.perf_counter()
-    evaluation = evaluate_scheme(
-        workload, "two-step", num_partitions, NUM_GROUPS, config
+    timings["evaluate_warm_s"], evaluation = best_of(
+        3,
+        lambda: evaluate_scheme(
+            workload, "two-step", num_partitions, NUM_GROUPS, config
+        ),
     )
-    timings["evaluate_warm_s"] = time.perf_counter() - t0
     timings["dr"] = evaluation.dr
 
     # The same evaluation through the seed code path (no cache, scalar
@@ -138,12 +170,16 @@ def bench_circuit(name, config, num_partitions):
         "two-step", workload.scan_config.max_length, NUM_GROUPS,
         num_partitions, lfsr_degree=config.lfsr_degree,
     )
-    clear_caches()
-    t0 = time.perf_counter()
-    seed_workload = build_circuit_workload(name, config)
-    compactor = LinearCompactor(config.misr_width, seed_workload.scan_config.num_chains)
-    seed_dr = seed_evaluate(seed_workload, partitions, compactor)
-    timings["seed_evaluate_s"] = time.perf_counter() - t0
+
+    def seed_pass():
+        clear_caches()
+        seed_workload = build_circuit_workload(name, config)
+        compactor = LinearCompactor(
+            config.misr_width, seed_workload.scan_config.num_chains
+        )
+        return seed_evaluate(seed_workload, partitions, compactor)
+
+    timings["seed_evaluate_s"], seed_dr = best_of(2, seed_pass)
     timings["seed_dr"] = seed_dr
 
     assert seed_dr == evaluation.dr, (
@@ -162,13 +198,82 @@ def _netlist(name, config):
     return get_circuit(name, scale=config.scale)
 
 
+def traced_rollup(circuits, config, num_partitions):
+    """One traced end-to-end pass (cache warm) to embed where time goes.
+
+    Runs after the timing passes so trace overhead never touches the
+    recorded wall clocks.
+    """
+    telemetry.TRACER.reset()
+    was_enabled = telemetry.trace_enabled()
+    telemetry.enable_tracing()
+    try:
+        for name in circuits:
+            workload = build_circuit_workload(name, config)
+            evaluate_scheme(workload, "two-step", num_partitions, NUM_GROUPS, config)
+    finally:
+        if not was_enabled:
+            telemetry.disable_tracing()
+    return {
+        "span_rollup": telemetry.span_rollup(),
+        "metrics": telemetry.METRICS.snapshot(),
+    }
+
+
+def load_prev(path):
+    """The previous trajectory report, or None when it does not exist or
+    cannot be parsed (first run, fresh clone, renamed artifacts)."""
+    path = Path(path)
+    if not path.exists():
+        log(f"no previous trajectory at {path}; skipping deltas")
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        log(f"cannot read previous trajectory {path}: {exc}; skipping deltas")
+        return None
+
+
+def deltas_vs_prev(report, prev):
+    """Wall-clock and telemetry-rollup deltas against the previous report."""
+    if not prev:
+        return None
+    deltas = {"prev_pr": prev.get("pr"), "circuits": {}, "stages": {}}
+    prev_circuits = {c.get("circuit"): c for c in prev.get("circuits", [])}
+    for timing in report["circuits"]:
+        before = prev_circuits.get(timing["circuit"])
+        if not before:
+            continue
+        per = {}
+        for key in ("workload_build_cold_s", "evaluate_warm_s",
+                    "end_to_end_warm_s", "seed_evaluate_s"):
+            now, old = timing.get(key), before.get(key)
+            if now is not None and old:
+                per[key] = {"now": now, "prev": old, "ratio": now / old}
+        deltas["circuits"][timing["circuit"]] = per
+    prev_rollup = {
+        row["name"]: row
+        for row in (prev.get("telemetry") or {}).get("span_rollup", [])
+    }
+    for row in report["telemetry"]["span_rollup"]:
+        before = prev_rollup.get(row["name"])
+        deltas["stages"][row["name"]] = {
+            "wall_s": row["wall_s"],
+            "prev_wall_s": before["wall_s"] if before else None,
+        }
+    return deltas
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--circuits", nargs="+", default=["s953", "s5378"])
     parser.add_argument("--faults", type=int, default=60)
     parser.add_argument("--patterns", type=int, default=128)
     parser.add_argument("--partitions", type=int, default=8)
-    parser.add_argument("--out", default="BENCH_PR1.json")
+    parser.add_argument("--out", default=f"BENCH_PR{PR_NUMBER}.json")
+    parser.add_argument("--prev", default=f"BENCH_PR{PR_NUMBER - 1}.json",
+                        help="previous trajectory file for deltas "
+                        "(missing is fine)")
     args = parser.parse_args()
 
     config = ExperimentConfig(
@@ -176,7 +281,7 @@ def main():
         num_patterns=args.patterns,
     )
     report = {
-        "pr": 1,
+        "pr": PR_NUMBER,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "config": {
@@ -188,10 +293,10 @@ def main():
         "circuits": [],
     }
     for name in args.circuits:
-        print(f"benchmarking {name} ...", flush=True)
+        log(f"benchmarking {name} ...")
         timings = bench_circuit(name, config, args.partitions)
         report["circuits"].append(timings)
-        print(
+        log(
             f"  build cold {timings['workload_build_cold_s']:.3f}s"
             f" | warm {timings['workload_build_warm_s'] * 1000:.2f}ms"
             f" | {timings['faults_per_sec']:.0f} faults/s"
@@ -199,6 +304,11 @@ def main():
             f" | seed path {timings['seed_evaluate_s']:.3f}s"
             f" | end-to-end speedup {timings['end_to_end_speedup']:.1f}x"
         )
+    log("collecting traced rollup ...")
+    report["telemetry"] = traced_rollup(args.circuits, config, args.partitions)
+    deltas = deltas_vs_prev(report, load_prev(args.prev))
+    if deltas is not None:
+        report["deltas_vs_prev"] = deltas
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Validate a run manifest against the shipped schema.
+
+Used by the CI smoke job: after ``repro-experiment table1 --trace`` this
+asserts the emitted ``manifest.json`` is schema-valid, covers enough
+pipeline stages, and recorded cache activity.
+
+Exit codes: 0 valid, 1 invalid, 2 unreadable/missing file.
+
+Run:  PYTHONPATH=src python scripts/check_manifest.py manifest.json
+      [--min-stages N] [--require-metric NAME ...]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.telemetry import validate_manifest
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="manifest.json to validate")
+    parser.add_argument("--min-stages", type=int, default=0,
+                        help="require at least N distinct span names in the "
+                        "rollup")
+    parser.add_argument("--require-metric", action="append", default=[],
+                        metavar="NAME",
+                        help="require a counter with this name (label-"
+                        "insensitive prefix match); repeatable")
+    args = parser.parse_args(argv)
+
+    path = Path(args.path)
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{path}: cannot read manifest: {exc}", file=sys.stderr)
+        return 2
+
+    errors = validate_manifest(manifest)
+    stages = {row.get("name") for row in manifest.get("span_rollup", [])
+              if isinstance(row, dict)}
+    if args.min_stages and len(stages) < args.min_stages:
+        errors.append(
+            f"span_rollup: {len(stages)} distinct stages, need "
+            f">= {args.min_stages} (got: {sorted(stages)})"
+        )
+    counters = manifest.get("metrics", {}).get("counters", {})
+    if isinstance(counters, dict):
+        for name in args.require_metric:
+            if not any(k == name or k.startswith(name + "{") for k in counters):
+                errors.append(f"metrics.counters: missing {name!r}")
+    if errors:
+        print(f"{path}: INVALID", file=sys.stderr)
+        for error in errors:
+            print(f"  - {error}", file=sys.stderr)
+        return 1
+    print(f"{path}: valid {manifest['schema']} "
+          f"v{manifest['schema_version']} ({len(stages)} stages, "
+          f"{len(counters)} counters)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

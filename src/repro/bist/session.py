@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..sim.faultsim import FaultResponse
+from ..telemetry import METRICS
 from .misr import LinearCompactor
 from .scan import ScanConfig
 
@@ -174,6 +175,7 @@ class ErrorEvents:
         error matrix instead of a per-bit Python loop."""
         cells = list(response.cell_errors)
         if not cells:
+            METRICS.incr("session.extractions")
             return cls.empty()
         matrix = np.stack([response.cell_errors[c] for c in cells])
         bits = np.unpackbits(
@@ -185,6 +187,8 @@ class ErrorEvents:
         positions = all_positions[cell_ids][rows]
         # global_cycle = pattern * max_length + unload position.
         cycles = patterns.astype(np.int64) * scan_config.max_length + positions
+        METRICS.incr("session.extractions")
+        METRICS.incr("session.events_extracted", int(positions.size))
         return cls(positions, all_chains[cell_ids][rows], cycles)
 
 
@@ -242,6 +246,8 @@ def sessions_from_arrays(
     ``contributions=None`` selects the exact (alias-free) comparison: a
     bucket's signature is 1 iff any event lands in it.
     """
+    METRICS.incr("session.batch_kernel_calls")
+    METRICS.incr("session.sessions_compacted", num_groups)
     matrix = np.zeros((num_groups, num_channels), dtype=np.uint64)
     if len(events):
         groups = np.asarray(group_of)[events.positions]
@@ -269,6 +275,11 @@ def sessions_for_partitions(
     """
     num_parts = len(partitions)
     max_groups = max(part.num_groups for part in partitions)
+    METRICS.incr("session.batch_kernel_calls")
+    METRICS.incr(
+        "session.sessions_compacted",
+        sum(part.num_groups for part in partitions),
+    )
     tensor = np.zeros((num_parts, max_groups, num_channels), dtype=np.uint64)
     if len(events):
         group_stack = np.stack([np.asarray(part.group_of) for part in partitions])
@@ -308,6 +319,7 @@ def run_partition_sessions(
         events = ErrorEvents.from_tuples(events)
     if compactor is not None and not hasattr(compactor, "batch_impulse_responses"):
         # Custom compactors only need the scalar impulse_response protocol.
+        METRICS.incr("session.scalar_fallbacks")
         return run_partition_sessions_scalar(
             events.as_tuples(), group_of, num_groups, total_cycles, compactor,
             num_channels=num_channels,
@@ -332,6 +344,8 @@ def run_partition_sessions_scalar(
     tests) and as the fallback for compactors that only implement the
     scalar ``impulse_response`` protocol.
     """
+    METRICS.incr("session.scalar_kernel_calls")
+    METRICS.incr("session.sessions_compacted", num_groups)
     signatures = [[0] * num_channels for _ in range(num_groups)]
     if compactor is None:
         for position, channel, _cycle in events:

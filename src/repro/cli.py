@@ -1,20 +1,32 @@
 """Command-line interface.
 
-Two entry points (also runnable as ``python -m repro.cli``):
+Three entry points (also runnable as ``python -m repro.cli``):
 
 * ``repro-diagnose`` — inject sampled stuck-at faults into a benchmark
   circuit and report candidate failing scan cells / DR for a scheme.
 * ``repro-experiment`` — regenerate one of the paper's tables or figures
-  (or an ablation / extension) by name.
+  (or an ablation / extension) by name; ``--trace`` additionally prints
+  the span tree, writes a ``trace.jsonl`` span log and a ``manifest.json``
+  run manifest.
+* ``python -m repro.cli stats <manifest.json|trace.jsonl>`` — render the
+  hot-path table and cache/pool summaries of a previous traced run.
+
+Deliverable output (tables, DR numbers) goes to stdout; progress and
+telemetry go through :mod:`repro.telemetry` to stderr (``REPRO_LOG``,
+``REPRO_TRACE``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
+
+from . import telemetry
 
 from .bist.misr import LinearCompactor
 from .bist.scan import ScanConfig
@@ -142,30 +154,186 @@ def experiment_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("name", choices=sorted(EXPERIMENT_RUNNERS) + ["all"])
     parser.add_argument("--faults", type=int, default=None,
                         help="override the fault sample size")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable tracing (as REPRO_TRACE=1), print the "
+                        "span tree to stderr and write trace/manifest files")
+    parser.add_argument("--manifest", default=None, metavar="PATH",
+                        help="run-manifest path (default manifest.json when "
+                        "tracing)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="JSONL span-log path (default trace.jsonl when "
+                        "tracing)")
     args = parser.parse_args(argv)
 
+    if args.trace:
+        telemetry.enable_tracing()
+    tracing = telemetry.trace_enabled()
     overrides = {}
     if args.faults is not None:
         overrides = {"num_faults": args.faults, "num_faults_large": args.faults}
     config = default_config(**overrides)
     names = sorted(EXPERIMENT_RUNNERS) if args.name == "all" else [args.name]
     for name in names:
-        result = EXPERIMENT_RUNNERS[name](config)
+        telemetry.log(f"running {name} ...")
+        with telemetry.span(f"experiment:{name}"):
+            result = EXPERIMENT_RUNNERS[name](config)
         print(result.render())
         print()
+    if tracing:
+        _export_run_telemetry(args, config)
     return 0
 
 
+def _export_run_telemetry(args: Any, config: Any) -> None:
+    """Dump the span tree to stderr and write trace.jsonl + manifest.json
+    next to the experiment output (cwd unless overridden)."""
+    telemetry.print_span_tree()
+    trace_path = Path(args.trace_out or "trace.jsonl")
+    telemetry.write_trace_jsonl(trace_path)
+    manifest = telemetry.build_manifest(
+        config=config,
+        seed=getattr(config, "fault_seed", None),
+        extra={"trace_file": str(trace_path)},
+    )
+    manifest_path = Path(args.manifest or "manifest.json")
+    telemetry.write_manifest(manifest_path, manifest)
+    telemetry.log(f"wrote {trace_path} and {manifest_path}")
+
+
+def stats_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.cli stats``: render the hot-path
+    table and cache/pool summaries of a traced run."""
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description="Summarize a run manifest (manifest.json) or span log "
+        "(trace.jsonl) produced by repro-experiment --trace.",
+    )
+    parser.add_argument("path", help="manifest.json or trace.jsonl")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows in the hot-path table (default 15)")
+    args = parser.parse_args(argv)
+
+    from .experiments.reporting import render_table
+
+    path = Path(args.path)
+    if not path.exists():
+        print(f"no such file: {path}", file=sys.stderr)
+        return 2
+    rollup, metrics = _load_telemetry(path)
+    if not rollup:
+        print(f"{path}: no spans recorded (was the run traced?)")
+        return 0
+
+    rows = [
+        [
+            row["name"], row["count"],
+            f"{row['wall_s'] * 1000:.2f}", f"{row['self_s'] * 1000:.2f}",
+            f"{row['cpu_s'] * 1000:.2f}",
+            " ".join(f"{k}={v}" for k, v in sorted(row["counters"].items())),
+        ]
+        for row in rollup[: args.top]
+    ]
+    print(render_table(
+        f"Hot path ({path.name}, by self time)",
+        ["stage", "calls", "wall ms", "self ms", "cpu ms", "counters"],
+        rows,
+    ))
+    if metrics is not None:
+        cache_rows = _cache_summary(metrics)
+        if cache_rows:
+            print()
+            print(render_table(
+                "Cache", ["store", "hits", "misses", "hit rate"], cache_rows
+            ))
+        pool_rows = _pool_summary(metrics)
+        if pool_rows:
+            print()
+            print(render_table("Worker pool", ["metric", "value"], pool_rows))
+    return 0
+
+
+def _load_telemetry(path: Path):
+    """(span rollup, metrics-or-None) from a manifest or a JSONL trace."""
+    if path.suffix == ".jsonl":
+        spans = telemetry.read_trace_jsonl(path)
+        return telemetry.span_rollup(spans), None
+    manifest = json.loads(path.read_text())
+    errors = telemetry.validate_manifest(manifest)
+    if errors:
+        print(f"warning: {path} fails manifest schema:", file=sys.stderr)
+        for error in errors:
+            print(f"  - {error}", file=sys.stderr)
+    return manifest.get("span_rollup", []), manifest.get("metrics")
+
+
+def _cache_summary(metrics: Dict[str, Any]) -> List[list]:
+    counters = metrics.get("counters", {})
+    kinds: Dict[str, Dict[str, float]] = {}
+    for key, value in counters.items():
+        name, labels = telemetry.split_metric_key(key)
+        if name not in ("cache.hits", "cache.misses"):
+            continue
+        entry = kinds.setdefault(labels.get("kind", "?"), {"hits": 0, "misses": 0})
+        entry["hits" if name == "cache.hits" else "misses"] += value
+    rows = []
+    for kind in sorted(kinds):
+        hits, misses = kinds[kind]["hits"], kinds[kind]["misses"]
+        total = hits + misses
+        rows.append([kind, int(hits), int(misses),
+                     f"{hits / total:.1%}" if total else "-"])
+    return rows
+
+
+def _pool_summary(metrics: Dict[str, Any]) -> List[list]:
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+    tasks_per_worker = {
+        telemetry.split_metric_key(key)[1].get("worker", "?"): value
+        for key, value in counters.items()
+        if telemetry.split_metric_key(key)[0] == "pool.tasks"
+    }
+    if not tasks_per_worker and "pool.workers_seen" not in gauges:
+        return []
+    rows: List[list] = []
+    if "pool.workers_seen" in gauges:
+        rows.append(["workers", int(gauges["pool.workers_seen"])])
+    if tasks_per_worker:
+        counts = sorted(tasks_per_worker.values())
+        rows.append(["tasks/worker (min..max)",
+                     f"{int(counts[0])}..{int(counts[-1])}"])
+    chunk = histograms.get("pool.chunk_size")
+    if chunk and chunk.get("count"):
+        rows.append(["chunks", int(chunk["count"])])
+        rows.append(["chunk size (min/mean/max)",
+                     f"{chunk['min']:.0f}/{chunk['sum'] / chunk['count']:.1f}/"
+                     f"{chunk['max']:.0f}"])
+    wall = histograms.get("pool.map_wall_s")
+    if wall and wall.get("count"):
+        rows.append(["parallel sections", int(wall["count"])])
+        rows.append(["parallel wall total", f"{wall['sum']:.3f}s"])
+    if "pool.utilization" in gauges:
+        rows.append(["utilization (last section)",
+                     f"{gauges['pool.utilization']:.1%}"])
+    if "pool.result_bytes" in counters:
+        rows.append(["result payload", f"{int(counters['pool.result_bytes'])} B"])
+    if "pool.pickle_s" in counters:
+        rows.append(["result pickle time", f"{counters['pool.pickle_s']:.3f}s"])
+    return rows
+
+
 def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
-    """``python -m repro.cli [diagnose|experiment] ...``"""
+    """``python -m repro.cli [diagnose|experiment|stats] ...``"""
     argv = list(sys.argv[1:] if argv is None else argv)
-    if not argv or argv[0] not in ("diagnose", "experiment"):
-        print("usage: python -m repro.cli {diagnose,experiment} ...",
+    if not argv or argv[0] not in ("diagnose", "experiment", "stats"):
+        print("usage: python -m repro.cli {diagnose,experiment,stats} ...",
               file=sys.stderr)
         return 2
     command = argv.pop(0)
     if command == "diagnose":
         return diagnose_main(argv)
+    if command == "stats":
+        return stats_main(argv)
     return experiment_main(argv)
 
 

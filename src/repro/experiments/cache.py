@@ -18,7 +18,14 @@ Keys must capture *every* input that influences the value:
   num_groups, num_partitions, lfsr_degree, seed,
   num_interval_partitions)``
 
-Set ``REPRO_CACHE=0`` to disable (every lookup misses); ``clear_caches()``
+The store **never evicts** — workload counts are small (dozens per run)
+and values are shared, so the policy is "keep everything"; ``stats()``
+reports ``evictions`` (always 0, recorded so trend tooling notices if the
+policy ever changes) and the size in entries.  Hits and misses are also
+reported per kind into :data:`repro.telemetry.METRICS` as
+``cache.hits{kind=...}`` / ``cache.misses{kind=...}``.
+
+Set ``REPRO_CACHE=0`` to disable (every lookup misses); ``clear()``
 empties the store, e.g. between benchmark timing passes.
 """
 
@@ -29,20 +36,35 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, Tuple
 
+from ..telemetry import METRICS
+
 _LOCK = threading.RLock()
 _STORE: Dict[Tuple[str, Hashable], Any] = {}
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, per cache kind."""
+    """Hit/miss counters per cache kind, plus store-wide gauges."""
 
     hits: Dict[str, int] = field(default_factory=dict)
     misses: Dict[str, int] = field(default_factory=dict)
+    #: Live entries in the store (all kinds).
+    entries: int = 0
+    #: Always 0 — the store never evicts (documented policy).
+    evictions: int = 0
 
     def record(self, kind: str, hit: bool) -> None:
         table = self.hits if hit else self.misses
         table[kind] = table.get(kind, 0) + 1
+
+    def hit_rate(self, kind: str) -> float:
+        """Hit fraction for one kind (0.0 when the kind was never seen)."""
+        hits = self.hits.get(kind, 0)
+        total = hits + self.misses.get(kind, 0)
+        return hits / total if total else 0.0
+
+    def kinds(self):
+        return sorted(set(self.hits) | set(self.misses))
 
 
 _STATS = CacheStats()
@@ -53,6 +75,11 @@ def cache_enabled() -> bool:
     return os.environ.get("REPRO_CACHE", "1").strip() != "0"
 
 
+def _record(kind: str, hit: bool) -> None:
+    _STATS.record(kind, hit)
+    METRICS.incr("cache.hits" if hit else "cache.misses", 1, labels={"kind": kind})
+
+
 def memoized(kind: str, key: Hashable, builder: Callable[[], Any]) -> Any:
     """Return the cached value for ``(kind, key)``, building it on a miss.
 
@@ -61,38 +88,51 @@ def memoized(kind: str, key: Hashable, builder: Callable[[], Any]) -> Any:
     """
     if not cache_enabled():
         with _LOCK:
-            _STATS.record(kind, hit=False)
+            _record(kind, hit=False)
         return builder()
     full_key = (kind, key)
     with _LOCK:
         if full_key in _STORE:
-            _STATS.record(kind, hit=True)
+            _record(kind, hit=True)
             return _STORE[full_key]
     # Build outside the lock: workload construction is expensive and two
     # threads racing on the same key deterministically build equal values.
     value = builder()
     with _LOCK:
-        _STATS.record(kind, hit=False)
-        return _STORE.setdefault(full_key, value)
+        _record(kind, hit=False)
+        value = _STORE.setdefault(full_key, value)
+        METRICS.gauge("cache.entries", len(_STORE))
+        return value
 
 
-def clear_caches() -> None:
+def clear() -> None:
     """Empty the store and reset the counters."""
     with _LOCK:
         _STORE.clear()
         _STATS.hits.clear()
         _STATS.misses.clear()
+        METRICS.gauge("cache.entries", 0)
 
 
-def cache_stats() -> CacheStats:
-    """A snapshot of the hit/miss counters."""
+def stats() -> CacheStats:
+    """A snapshot of the hit/miss counters and store gauges."""
     with _LOCK:
-        return CacheStats(hits=dict(_STATS.hits), misses=dict(_STATS.misses))
+        return CacheStats(
+            hits=dict(_STATS.hits),
+            misses=dict(_STATS.misses),
+            entries=len(_STORE),
+            evictions=0,
+        )
 
 
 def cache_size() -> int:
     with _LOCK:
         return len(_STORE)
+
+
+#: Back-compat aliases (PR 1 public names).
+clear_caches = clear
+cache_stats = stats
 
 
 def soc_fingerprint(soc) -> Hashable:

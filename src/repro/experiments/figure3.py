@@ -19,6 +19,7 @@ import numpy as np
 from ..bist.misr import LinearCompactor
 from ..core.diagnosis import diagnose
 from ..core.partitions import Partition
+from ..telemetry import span
 from .config import ExperimentConfig, default_config
 from .runner import Workload, build_circuit_workload, scheme_partitions
 
@@ -94,10 +95,14 @@ def run_figure3(
 
     interval_part = one_partition("interval")
     random_part = one_partition("random")
-    interval_result = diagnose(
-        response, workload.scan_config, [interval_part], compactor
-    )
-    random_result = diagnose(response, workload.scan_config, [random_part], compactor)
+    with span("diagnose", scheme="interval", workload=CIRCUIT):
+        interval_result = diagnose(
+            response, workload.scan_config, [interval_part], compactor
+        )
+    with span("diagnose", scheme="random", workload=CIRCUIT):
+        random_result = diagnose(
+            response, workload.scan_config, [random_part], compactor
+        )
     return Figure3Result(
         failing_cells=sorted(response.failing_cells),
         interval_groups=[

@@ -15,7 +15,9 @@ from typing import Dict, Optional
 from ..bist.misr import LinearCompactor
 from ..core.diagnosis import diagnose, partitions_to_reach_dr
 from ..soc.stitch import build_stitched_soc
+from ..parallel import parallel_map
 from ..soc.testrail import TestRail
+from ..telemetry import METRICS, span
 from .config import ExperimentConfig, default_config
 from .reporting import render_table
 from .runner import build_soc_workloads, scheme_partitions
@@ -73,11 +75,18 @@ def run_figure5(
                 max_partitions,
                 lfsr_degree=config.lfsr_degree,
             )
-            results = [
-                diagnose(response, workload.scan_config, partitions, compactor)
-                for response in workload.responses
-            ]
-            needed[core.name][scheme] = partitions_to_reach_dr(
-                results, TARGET_DR, max_partitions
-            )
+            with span("diagnose", scheme=scheme, workload=workload.name) as sp:
+                responses = workload.responses
+                results = parallel_map(
+                    lambda i: diagnose(
+                        responses[i], workload.scan_config, partitions, compactor
+                    ),
+                    len(responses),
+                )
+                sp.add("faults", len(results))
+                METRICS.incr("diagnosis.faults", len(results))
+            with span("dr.score", scheme=scheme, workload=workload.name):
+                needed[core.name][scheme] = partitions_to_reach_dr(
+                    results, TARGET_DR, max_partitions
+                )
     return Figure5Result(partitions_needed=needed)

@@ -24,6 +24,7 @@ from ..parallel import parallel_map
 from ..sim.faultsim import FaultResponse
 from ..soc.core_wrapper import EmbeddedCore
 from ..soc.testrail import TestRail
+from ..telemetry import METRICS, debug, span
 from . import cache
 from .config import ExperimentConfig
 
@@ -63,11 +64,19 @@ def build_circuit_workload(
 def _build_circuit_workload(
     circuit_name: str, config: ExperimentConfig, patterns: int, fault_count: int
 ) -> Workload:
-    core = EmbeddedCore(
-        _get_circuit(circuit_name, config), num_patterns=patterns
-    )
-    rng = np.random.default_rng(config.fault_seed ^ hash_name(circuit_name))
-    responses = core.sample_fault_responses(fault_count, rng)
+    debug(f"building workload for {circuit_name} ({patterns} patterns, "
+          f"{fault_count} faults)")
+    with span("workload.build", circuit=circuit_name, patterns=patterns):
+        with span("netlist.compile", circuit=circuit_name):
+            # EmbeddedCore compiles the netlist and runs the fault-free
+            # (golden) pattern-parallel simulation.
+            core = EmbeddedCore(
+                _get_circuit(circuit_name, config), num_patterns=patterns
+            )
+        rng = np.random.default_rng(config.fault_seed ^ hash_name(circuit_name))
+        with span("fault.sample", circuit=circuit_name) as sp:
+            responses = core.sample_fault_responses(fault_count, rng)
+            sp.add("responses", len(responses))
     return Workload(
         name=circuit_name,
         scan_config=ScanConfig.single_chain(core.num_cells),
@@ -98,9 +107,16 @@ def _build_soc_workloads(
 ) -> Dict[str, Workload]:
     workloads: Dict[str, Workload] = {}
     for core_index, core in enumerate(soc.cores):
+        debug(f"building SOC workload: {soc.name}/{core.name}")
         rng = np.random.default_rng(config.fault_seed ^ hash_name(core.name))
-        local = core.sample_fault_responses(config.faults_for(core.name), rng)
-        lifted = [soc.lift_response(core_index, r) for r in local]
+        with span("workload.build", soc=soc.name, core=core.name):
+            with span("fault.sample", circuit=core.name) as sp:
+                local = core.sample_fault_responses(
+                    config.faults_for(core.name), rng
+                )
+                sp.add("responses", len(local))
+            with span("soc.lift", core=core.name):
+                lifted = [soc.lift_response(core_index, r) for r in local]
         workloads[core.name] = Workload(
             name=f"{soc.name}/{core.name}",
             scan_config=soc.scan_config,
@@ -129,19 +145,19 @@ def scheme_partitions(
         scheme, length, num_groups, num_partitions,
         lfsr_degree, seed, num_interval_partitions,
     )
-    return list(
-        cache.memoized(
-            "partitions", key,
-            lambda: make_partitioner(
+    def build() -> List[Partition]:
+        with span("partitions.generate", scheme=scheme, length=length,
+                  partitions=num_partitions, groups=num_groups):
+            return make_partitioner(
                 scheme,
                 length,
                 num_groups,
                 lfsr_degree=lfsr_degree,
                 seed=seed,
                 num_interval_partitions=num_interval_partitions,
-            ).partitions(num_partitions),
-        )
-    )
+            ).partitions(num_partitions)
+
+    return list(cache.memoized("partitions", key, build))
 
 
 @dataclass
@@ -189,19 +205,25 @@ def evaluate_scheme(
             "compactor", (width, chains), lambda: LinearCompactor(width, chains)
         )
     responses = workload.responses
-    results = parallel_map(
-        lambda i: diagnose(responses[i], workload.scan_config, partitions, compactor),
-        len(responses),
-        workers,
-    )
-    dr = diagnostic_resolution(results)
+    with span("diagnose", scheme=scheme, workload=workload.name) as sp:
+        results = parallel_map(
+            lambda i: diagnose(responses[i], workload.scan_config, partitions, compactor),
+            len(responses),
+            workers,
+        )
+        sp.add("faults", len(responses))
+        METRICS.incr("diagnosis.faults", len(responses))
+    with span("dr.score", scheme=scheme, workload=workload.name):
+        dr = diagnostic_resolution(results)
     dr_pruned = None
     pruned_results: List[DiagnosisResult] = []
     if with_pruning:
-        pruned_results = [
-            apply_superposition(result, workload.scan_config) for result in results
-        ]
-        dr_pruned = diagnostic_resolution(pruned_results)
+        with span("superposition.prune", scheme=scheme, workload=workload.name):
+            pruned_results = [
+                apply_superposition(result, workload.scan_config) for result in results
+            ]
+        with span("dr.score", scheme=scheme, workload=workload.name, pruned=True):
+            dr_pruned = diagnostic_resolution(pruned_results)
     return SchemeEvaluation(scheme, dr, dr_pruned, results, pruned_results)
 
 

@@ -16,6 +16,7 @@ from typing import List, Optional
 from ..soc.d695 import build_d695_soc
 from ..soc.stitch import build_stitched_soc
 from ..soc.testrail import TestRail
+from ..telemetry import span
 from .config import ExperimentConfig, default_config
 from .reporting import render_table
 from .runner import build_soc_workloads, evaluate_scheme
@@ -82,13 +83,15 @@ def run_soc_table(
     rows = []
     for core_index, core in enumerate(soc.cores):
         workload = workloads[core.name]
-        random_eval = evaluate_scheme(
-            workload, "random", NUM_PARTITIONS, num_groups, config, with_pruning=True
-        )
-        two_step_eval = evaluate_scheme(
-            workload, "two-step", NUM_PARTITIONS, num_groups, config,
-            with_pruning=True,
-        )
+        with span("soc.core", soc=soc.name, core=core.name):
+            random_eval = evaluate_scheme(
+                workload, "random", NUM_PARTITIONS, num_groups, config,
+                with_pruning=True,
+            )
+            two_step_eval = evaluate_scheme(
+                workload, "two-step", NUM_PARTITIONS, num_groups, config,
+                with_pruning=True,
+            )
         rows.append(
             SocRow(
                 failing_core=core.name,

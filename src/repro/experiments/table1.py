@@ -17,6 +17,8 @@ from typing import List
 
 from ..bist.misr import LinearCompactor
 from ..core.diagnosis import diagnose, dr_by_partition_count
+from ..parallel import parallel_map
+from ..telemetry import METRICS, span
 from .config import ExperimentConfig, PAPER_PATTERNS_TABLE1, default_config
 from .reporting import render_table
 from .runner import build_circuit_workload, scheme_partitions
@@ -68,9 +70,16 @@ def run_table1(config: ExperimentConfig = None) -> Table1Result:
             MAX_PARTITIONS,
             lfsr_degree=config.lfsr_degree,
         )
-        results = [
-            diagnose(response, workload.scan_config, partitions, compactor)
-            for response in workload.responses
-        ]
-        dr[scheme] = dr_by_partition_count(results, MAX_PARTITIONS)
+        with span("diagnose", scheme=scheme, workload=CIRCUIT) as sp:
+            responses = workload.responses
+            results = parallel_map(
+                lambda i: diagnose(
+                    responses[i], workload.scan_config, partitions, compactor
+                ),
+                len(responses),
+            )
+            sp.add("faults", len(results))
+            METRICS.incr("diagnosis.faults", len(results))
+        with span("dr.score", scheme=scheme, workload=CIRCUIT):
+            dr[scheme] = dr_by_partition_count(results, MAX_PARTITIONS)
     return Table1Result(dr=dr, num_faults=len(workload.responses))

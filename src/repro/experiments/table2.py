@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..circuit.library import SIX_LARGEST
+from ..telemetry import span
 from .config import ExperimentConfig, default_config
 from .reporting import render_table
 from .runner import build_circuit_workload, evaluate_scheme
@@ -84,14 +85,17 @@ def run_table2(
     circuits = list(circuits) if circuits is not None else list(SIX_LARGEST)
     rows = []
     for name in circuits:
-        workload = build_circuit_workload(name, config)
-        num_groups = groups_for_length(workload.scan_config.max_length)
-        random_eval = evaluate_scheme(
-            workload, "random", NUM_PARTITIONS, num_groups, config, with_pruning=True
-        )
-        two_step_eval = evaluate_scheme(
-            workload, "two-step", NUM_PARTITIONS, num_groups, config, with_pruning=True
-        )
+        with span("table2.circuit", circuit=name):
+            workload = build_circuit_workload(name, config)
+            num_groups = groups_for_length(workload.scan_config.max_length)
+            random_eval = evaluate_scheme(
+                workload, "random", NUM_PARTITIONS, num_groups, config,
+                with_pruning=True,
+            )
+            two_step_eval = evaluate_scheme(
+                workload, "two-step", NUM_PARTITIONS, num_groups, config,
+                with_pruning=True,
+            )
         rows.append(
             Table2Row(
                 circuit=name,

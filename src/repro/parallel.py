@@ -13,15 +13,28 @@ parks it in a module global, forks the pool, and submits plain index
 chunks — nothing but small index lists and the results ever cross the
 pipe.  Chunks are contiguous and reassembled in index order, so results are
 bit-identical to the serial path.
+
+Telemetry crosses the fork boundary explicitly (a forked child's counters
+and spans live in *its* copy of the process): each chunk snapshots the
+:data:`repro.telemetry.METRICS` registry before and after the work and
+ships the delta — plus any spans closed inside the chunk — back with the
+results; the parent folds deltas into its registry and re-attaches worker
+spans under the calling span.  The pool itself reports ``pool.*`` metrics:
+chunks and tasks per worker process, chunk sizes, per-chunk busy time, and
+(when tracing) result payload bytes and pickling time.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import sys
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .telemetry import METRICS, TRACER, span
 
 #: Populations smaller than this never fork (the pool costs more than it saves).
 MIN_PARALLEL_ITEMS = 8
@@ -57,9 +70,40 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return workers
 
 
-def _run_chunk(indices: Sequence[int]) -> List[Any]:
+def _run_chunk(indices: Sequence[int]) -> Tuple[List[Any], Dict[str, Any]]:
+    """Execute one index chunk in a worker and package its telemetry.
+
+    Runs in the forked child.  The returned payload is the fork-merge
+    protocol: metric deltas (registry activity during this chunk only —
+    the worker may serve many chunks), worker-local spans as dicts, the
+    worker pid, and the chunk's busy wall time.
+    """
     assert _ACTIVE_TASK is not None, "worker forked outside parallel_map"
-    return [_ACTIVE_TASK(i) for i in indices]
+    before = METRICS.snapshot()
+    started = time.perf_counter()
+    if TRACER.enabled:
+        with TRACER.capture() as worker_spans:
+            results = [_ACTIVE_TASK(i) for i in indices]
+        span_dicts = [s.to_dict() for s in worker_spans]
+    else:
+        results = [_ACTIVE_TASK(i) for i in indices]
+        span_dicts = []
+    busy_s = time.perf_counter() - started
+    payload: Dict[str, Any] = {
+        "pid": os.getpid(),
+        "busy_s": busy_s,
+        "tasks": len(indices),
+        "metrics": METRICS.diff(before),
+        "spans": span_dicts,
+    }
+    if TRACER.enabled:
+        # Serialization cost of the results themselves (the executor will
+        # pickle them again for the pipe; measuring here costs one extra
+        # dumps pass, which is why it is trace-gated).
+        t0 = time.perf_counter()
+        payload["result_bytes"] = len(pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL))
+        payload["pickle_s"] = time.perf_counter() - t0
+    return results, payload
 
 
 def _chunk_indices(num_items: int, workers: int) -> List[List[int]]:
@@ -73,6 +117,37 @@ def _chunk_indices(num_items: int, workers: int) -> List[List[int]]:
         chunks.append(list(range(start, start + size)))
         start += size
     return chunks
+
+
+def _absorb_payloads(payloads: Sequence[Dict[str, Any]], wall_s: float) -> None:
+    """Fold the workers' telemetry back into the parent process."""
+    worker_index: Dict[int, int] = {}
+    busy_total = 0.0
+    for payload in payloads:
+        METRICS.merge(payload.get("metrics"))
+        TRACER.adopt(payload.get("spans", []))
+        pid = payload.get("pid")
+        if pid not in worker_index:
+            # Stable worker labels (pids vary run to run, enumeration
+            # order of first completion does too, but the label space
+            # stays small and mergeable).
+            worker_index[pid] = len(worker_index)
+        label = {"worker": worker_index[pid]}
+        METRICS.incr("pool.chunks", 1, labels=label)
+        METRICS.incr("pool.tasks", payload.get("tasks", 0), labels=label)
+        METRICS.observe("pool.chunk_size", payload.get("tasks", 0))
+        METRICS.observe("pool.chunk_busy_s", payload.get("busy_s", 0.0))
+        busy_total += payload.get("busy_s", 0.0)
+        if "result_bytes" in payload:
+            METRICS.incr("pool.result_bytes", payload["result_bytes"])
+            METRICS.incr("pool.pickle_s", payload["pickle_s"])
+    METRICS.gauge("pool.workers_seen", len(worker_index))
+    METRICS.observe("pool.map_wall_s", wall_s)
+    if wall_s > 0:
+        # Utilization: total worker busy time over (wall x workers) — 1.0
+        # means every worker computed the whole time.
+        workers = max(1, len(worker_index))
+        METRICS.gauge("pool.utilization", busy_total / (wall_s * workers))
 
 
 def parallel_map(
@@ -96,9 +171,16 @@ def parallel_map(
     workers = min(workers, num_items)
     context = multiprocessing.get_context("fork")
     _ACTIVE_TASK = task
+    chunks = _chunk_indices(num_items, workers)
+    started = time.perf_counter()
     try:
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            chunk_results = list(pool.map(_run_chunk, _chunk_indices(num_items, workers)))
+        with span("pool.map", items=num_items, workers=workers, chunks=len(chunks)):
+            with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+                chunk_results = list(pool.map(_run_chunk, chunks))
+            _absorb_payloads(
+                [payload for _, payload in chunk_results],
+                time.perf_counter() - started,
+            )
     finally:
         _ACTIVE_TASK = None
-    return [result for chunk in chunk_results for result in chunk]
+    return [result for results, _ in chunk_results for result in results]

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..parallel import parallel_map
+from ..telemetry import METRICS, span
 from .bitops import any_bit, num_words, pattern_mask, popcount
 from .faults import Fault
 from .logicsim import CompiledCircuit, SimResult, _combine
@@ -105,7 +106,7 @@ class FaultSimulator:
             # Stem fault: the net itself takes the stuck value everywhere.
             net_idx = compiled.net_index[fault.net]
             if not any_bit(good_values[net_idx] ^ stuck_vec):
-                return FaultResponse(fault, {}, self.num_patterns)
+                return self._response(fault, {})
             faulty[net_idx] = stuck_vec
             frontier = [net_idx]
         else:
@@ -116,7 +117,7 @@ class FaultSimulator:
                 good_values, gate_idx, fanin_pos, stuck_vec, mask
             )
             if not any_bit(new_val ^ good_values[gate_idx]):
-                return FaultResponse(fault, {}, self.num_patterns)
+                return self._response(fault, {})
             faulty[gate_idx] = new_val
             frontier = [gate_idx]
 
@@ -161,6 +162,13 @@ class FaultSimulator:
                 continue
             for cell_pos in cells:
                 cell_errors[cell_pos] = diff.copy()
+        return self._response(fault, cell_errors)
+
+    def _response(self, fault: Fault, cell_errors: Dict[int, np.ndarray]) -> FaultResponse:
+        METRICS.incr("faultsim.faults")
+        if cell_errors:
+            METRICS.incr("faultsim.detected")
+            METRICS.incr("faultsim.error_cells", len(cell_errors))
         return FaultResponse(fault, cell_errors, self.num_patterns)
 
     def _eval_with_overrides(
@@ -184,9 +192,13 @@ class FaultSimulator:
         the serial loop.
         """
         faults = list(faults)
-        return parallel_map(
-            lambda i: self.simulate_fault(faults[i]), len(faults), workers
-        )
+        with span("fault.sim", faults=len(faults)) as sp:
+            responses = parallel_map(
+                lambda i: self.simulate_fault(faults[i]), len(faults), workers
+            )
+            sp.add("faults", len(faults))
+            sp.add("detected", sum(1 for r in responses if r.detected))
+        return responses
 
 
 def merge_responses(responses: Sequence[FaultResponse]) -> FaultResponse:

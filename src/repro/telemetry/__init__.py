@@ -1,0 +1,82 @@
+"""Zero-dependency observability for the diagnosis pipeline.
+
+Three cooperating pieces (see docs/architecture.md, "Observability"):
+
+* :mod:`repro.telemetry.tracer` — nested spans (wall/CPU time, attributes,
+  counters) over the pipeline stages; opt-in via ``REPRO_TRACE=1`` or
+  :func:`enable_tracing`, free when disabled.
+* :mod:`repro.telemetry.metrics` — the process-wide
+  :class:`MetricsRegistry` that cache, fault simulator, session kernels
+  and the worker pool report into; forked workers ship deltas back.
+* :mod:`repro.telemetry.export` — stderr span tree, JSONL trace log, and
+  the per-run ``manifest.json`` (git SHA, config hash, seed, env knobs,
+  metric totals, span rollup).
+
+Plus :func:`log`, the ``REPRO_LOG``-gated progress logger that keeps
+stdout clean for actual experiment output.
+"""
+
+from .export import (
+    ENV_KNOBS,
+    MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_NAME,
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    config_hash,
+    git_sha,
+    print_span_tree,
+    read_trace_jsonl,
+    render_span_tree,
+    span_rollup,
+    validate_manifest,
+    write_manifest,
+    write_trace_jsonl,
+)
+from .log import debug, log, log_level, set_log_level
+from .metrics import METRICS, Histogram, MetricsRegistry, metric_key, split_metric_key
+from .tracer import (
+    NULL_SPAN,
+    Span,
+    TRACER,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+    trace_enabled,
+    traced,
+)
+
+__all__ = [
+    "ENV_KNOBS",
+    "MANIFEST_SCHEMA",
+    "MANIFEST_SCHEMA_NAME",
+    "MANIFEST_SCHEMA_VERSION",
+    "METRICS",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "build_manifest",
+    "config_hash",
+    "debug",
+    "disable_tracing",
+    "enable_tracing",
+    "git_sha",
+    "log",
+    "log_level",
+    "metric_key",
+    "print_span_tree",
+    "read_trace_jsonl",
+    "render_span_tree",
+    "set_log_level",
+    "span",
+    "span_rollup",
+    "split_metric_key",
+    "trace_enabled",
+    "traced",
+    "validate_manifest",
+    "write_manifest",
+    "write_trace_jsonl",
+]

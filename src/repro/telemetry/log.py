@@ -1,0 +1,47 @@
+"""Level-gated progress logging for the CLI and scripts.
+
+Progress/status chatter ("benchmarking s953 ...") goes through
+:func:`log` instead of bare ``print`` so it can be silenced wholesale:
+``REPRO_LOG=quiet|info|debug`` (default ``info``) sets the verbosity, and
+everything writes to **stderr** — stdout stays reserved for the actual
+deliverables (rendered tables, DR numbers) that tests and shell pipelines
+consume.  The test suite runs with ``REPRO_LOG=quiet``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Any, Optional, TextIO
+
+LEVELS = {"quiet": 0, "info": 1, "debug": 2}
+
+#: Programmatic override (the CLI may set this); None defers to the env.
+_FORCED_LEVEL: Optional[str] = None
+
+
+def log_level() -> str:
+    """Active verbosity name (``quiet`` / ``info`` / ``debug``)."""
+    if _FORCED_LEVEL is not None:
+        return _FORCED_LEVEL
+    raw = os.environ.get("REPRO_LOG", "info").strip().lower()
+    return raw if raw in LEVELS else "info"
+
+
+def set_log_level(level: Optional[str]) -> None:
+    """Force a verbosity regardless of ``REPRO_LOG`` (``None`` to defer)."""
+    global _FORCED_LEVEL
+    if level is not None and level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; use {sorted(LEVELS)}")
+    _FORCED_LEVEL = level
+
+
+def log(message: Any, level: str = "info", stream: Optional[TextIO] = None) -> None:
+    """Emit one progress line if the active verbosity admits ``level``."""
+    if LEVELS.get(level, 1) > LEVELS[log_level()]:
+        return
+    print(message, file=stream if stream is not None else sys.stderr, flush=True)
+
+
+def debug(message: Any) -> None:
+    log(message, level="debug")

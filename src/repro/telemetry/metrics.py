@@ -1,0 +1,204 @@
+"""Process-wide metrics: counters, gauges and histograms.
+
+Pipeline components report into the shared :data:`METRICS` registry —
+cache hits and misses per memo store, faults simulated, error events
+extracted, sessions compacted, worker-pool chunk sizes — and exporters
+snapshot it into the run manifest.  Metric names are dotted
+(``cache.hits``); low-cardinality dimensions ride in ``labels`` and are
+canonicalized into the key (``cache.hits{kind=workload}``), so snapshots
+are plain string-keyed dicts that serialize and merge trivially.
+
+The registry is always on: increments happen at per-fault / per-chunk
+granularity (never per event or per bit — callers batch with ``value=``),
+so the cost is one dict update under a lock, invisible next to the numpy
+work between increments.  :meth:`MetricsRegistry.diff` /
+:meth:`MetricsRegistry.merge` implement the fork-merge protocol: a worker
+snapshots before and after its chunk and ships the delta back to the
+parent (see :mod:`repro.parallel`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+
+def metric_key(name: str, labels: Optional[Dict[str, Any]] = None) -> str:
+    """Canonical storage key: ``name{k1=v1,k2=v2}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def split_metric_key(key: str) -> tuple:
+    """Inverse of :func:`metric_key`: ``(name, labels_dict)``."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: Dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        if "=" in part:
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+class Histogram:
+    """Streaming summary: count / sum / min / max (no buckets — the
+    manifest wants totals and means, not quantiles)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def merge(self, other: Dict[str, Any]) -> None:
+        count = int(other.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.total += float(other.get("sum", 0.0))
+        for bound, pick in (("min", min), ("max", max)):
+            value = other.get(bound)
+            if value is None:
+                continue
+            mine = getattr(self, bound)
+            setattr(self, bound, value if mine is None else pick(mine, value))
+
+
+class MetricsRegistry:
+    """Thread-safe counter/gauge/histogram store with snapshot algebra."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def incr(self, name: str, value: float = 1,
+             labels: Optional[Dict[str, Any]] = None) -> None:
+        key = metric_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float,
+              labels: Optional[Dict[str, Any]] = None) -> None:
+        key = metric_key(name, labels)
+        with self._lock:
+            self._gauges[key] = float(value)
+
+    def observe(self, name: str, value: float,
+                labels: Optional[Dict[str, Any]] = None) -> None:
+        key = metric_key(name, labels)
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram()
+            hist.observe(value)
+
+    # -- reading ------------------------------------------------------------
+
+    def counter(self, name: str, labels: Optional[Dict[str, Any]] = None) -> float:
+        with self._lock:
+            return self._counters.get(metric_key(name, labels), 0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter over all label combinations."""
+        with self._lock:
+            return sum(
+                v for k, v in self._counters.items()
+                if k == name or k.startswith(name + "{")
+            )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A deep, JSON-ready copy of the whole registry."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    k: h.to_dict() for k, h in self._histograms.items()
+                },
+            }
+
+    def diff(self, before: Dict[str, Any]) -> Dict[str, Any]:
+        """Registry activity since ``before`` (an earlier :meth:`snapshot`).
+
+        Counters and histogram count/sum subtract; histogram min/max and
+        gauges keep their latest values (monotone merges stay correct, and
+        gauges are last-writer-wins by definition).
+        """
+        now = self.snapshot()
+        counters = {}
+        for key, value in now["counters"].items():
+            delta = value - before.get("counters", {}).get(key, 0)
+            if delta:
+                counters[key] = delta
+        histograms = {}
+        for key, hist in now["histograms"].items():
+            prior = before.get("histograms", {}).get(key)
+            if prior is None:
+                if hist["count"]:
+                    histograms[key] = hist
+                continue
+            count = hist["count"] - prior.get("count", 0)
+            if count:
+                histograms[key] = {
+                    "count": count,
+                    "sum": hist["sum"] - prior.get("sum", 0.0),
+                    "min": hist["min"],
+                    "max": hist["max"],
+                    "mean": None,
+                }
+        return {"counters": counters, "gauges": now["gauges"], "histograms": histograms}
+
+    def merge(self, delta: Dict[str, Any]) -> None:
+        """Fold a :meth:`diff` (or full snapshot) from another process in."""
+        if not delta:
+            return
+        with self._lock:
+            for key, value in delta.get("counters", {}).items():
+                self._counters[key] = self._counters.get(key, 0) + value
+            for key, value in delta.get("gauges", {}).items():
+                self._gauges[key] = value
+            for key, data in delta.get("histograms", {}).items():
+                hist = self._histograms.get(key)
+                if hist is None:
+                    hist = self._histograms[key] = Histogram()
+                hist.merge(data)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: Process-wide registry used by all pipeline instrumentation.
+METRICS = MetricsRegistry()

@@ -1,0 +1,309 @@
+"""Structured tracing: nested spans over the diagnosis pipeline.
+
+A :class:`Span` records one named stage — wall time, CPU time, free-form
+attributes, and integer counters — plus its child spans, yielding a tree
+that mirrors the pipeline (``experiment:table1`` → ``workload.build`` →
+``fault.sim`` → ...).  The :class:`Tracer` maintains the *current* span in
+a :mod:`contextvars` variable, so nesting is correct across threads and
+inside forked workers (each worker inherits the parent's context and
+detaches via :meth:`Tracer.capture`, see :mod:`repro.parallel`).
+
+Tracing is **opt-in** (``REPRO_TRACE=1`` or :func:`enable`); when disabled
+every entry point returns a shared no-op context manager and the pipeline
+pays one attribute load and one branch per call site — no spans, no
+allocation, no output.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed stage of the pipeline.
+
+    ``duration_s`` / ``cpu_s`` are valid once the span is closed.  Counters
+    are plain integer accumulators (events seen, faults diagnosed, ...)
+    local to the span; process-wide totals live in
+    :class:`repro.telemetry.metrics.MetricsRegistry`.
+    """
+
+    __slots__ = (
+        "name", "attributes", "counters", "children",
+        "start_wall", "end_wall", "start_cpu", "end_cpu", "pid",
+    )
+
+    def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.counters: Dict[str, int] = {}
+        self.children: List["Span"] = []
+        self.start_wall = time.perf_counter()
+        self.start_cpu = time.process_time()
+        self.end_wall: Optional[float] = None
+        self.end_cpu: Optional[float] = None
+        self.pid = os.getpid()
+
+    # -- recording ----------------------------------------------------------
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def add(self, counter: str, value: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + value
+
+    def close(self) -> None:
+        if self.end_wall is None:
+            self.end_wall = time.perf_counter()
+            self.end_cpu = time.process_time()
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self.end_wall is not None
+
+    @property
+    def duration_s(self) -> float:
+        end = self.end_wall if self.end_wall is not None else time.perf_counter()
+        return max(0.0, end - self.start_wall)
+
+    @property
+    def cpu_s(self) -> float:
+        end = self.end_cpu if self.end_cpu is not None else time.process_time()
+        return max(0.0, end - self.start_cpu)
+
+    @property
+    def self_s(self) -> float:
+        """Wall time not covered by child spans."""
+        return max(0.0, self.duration_s - sum(c.duration_s for c in self.children))
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        state = f"{self.duration_s * 1000:.2f}ms" if self.closed else "open"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+    # -- wire format (fork merge, JSONL export) -----------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "wall_s": round(self.duration_s, 9),
+            "cpu_s": round(self.cpu_s, 9),
+            "pid": self.pid,
+            "attributes": self.attributes,
+            "counters": self.counters,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        span = cls(data["name"], data.get("attributes"))
+        span.counters = dict(data.get("counters", {}))
+        span.pid = int(data.get("pid", os.getpid()))
+        span.end_wall = span.start_wall + float(data.get("wall_s", 0.0))
+        span.end_cpu = span.start_cpu + float(data.get("cpu_s", 0.0))
+        span.children = [cls.from_dict(c) for c in data.get("children", [])]
+        return span
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        return None
+
+    def add(self, counter: str, value: int = 1) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that opens a span on entry and closes it on exit,
+    maintaining the tracer's current-span variable."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> Span:
+        parent = self._tracer._current.get()
+        if parent is not None:
+            parent.children.append(self._span)
+        self._token = self._tracer._current.set(self._span)
+        return self._span
+
+    def __exit__(self, *exc: Any) -> None:
+        self._span.close()
+        if self._token is not None:
+            self._tracer._current.reset(self._token)
+        if self._tracer._current.get() is None:
+            # A root span finished: file it with the active sink (fork
+            # capture) or the tracer's finished list.
+            self._tracer._file_root(self._span)
+
+
+class Tracer:
+    """Owns the span tree and the enabled/disabled switch."""
+
+    def __init__(self, enabled: Optional[bool] = None):
+        if enabled is None:
+            enabled = os.environ.get("REPRO_TRACE", "").strip() in ("1", "true", "on")
+        self.enabled = bool(enabled)
+        self._current: contextvars.ContextVar[Optional[Span]] = (
+            contextvars.ContextVar("repro_current_span", default=None)
+        )
+        self._sink: contextvars.ContextVar[Optional[List[Span]]] = (
+            contextvars.ContextVar("repro_span_sink", default=None)
+        )
+        self._lock = threading.Lock()
+        self._finished: List[Span] = []
+
+    # -- span lifecycle -----------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        """Open a child span of the current span (or a new root).
+
+        Usage::
+
+            with tracer.span("fault.sim", circuit="s953") as sp:
+                ...
+                sp.add("faults", len(sample))
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _SpanContext(self, Span(name, attributes))
+
+    def traced(self, name: Optional[str] = None) -> Callable:
+        """Decorator form of :meth:`span` (span named after the function)."""
+
+        def decorate(func: Callable) -> Callable:
+            span_name = name or func.__qualname__
+
+            @functools.wraps(func)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                if not self.enabled:
+                    return func(*args, **kwargs)
+                with self.span(span_name):
+                    return func(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    def current(self) -> Optional[Span]:
+        return self._current.get()
+
+    def _file_root(self, span: Span) -> None:
+        sink = self._sink.get()
+        if sink is not None:
+            sink.append(span)
+            return
+        with self._lock:
+            self._finished.append(span)
+
+    # -- reading / management -----------------------------------------------
+
+    def roots(self) -> List[Span]:
+        """Completed root spans, oldest first (open roots are excluded)."""
+        with self._lock:
+            return list(self._finished)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    # -- fork merge protocol ------------------------------------------------
+
+    def capture(self):
+        """Detach the calling context and collect its root spans in a list.
+
+        Used inside forked workers: the child inherits the parent's current
+        span through fork, but any spans it closes there would mutate the
+        *child's* copy and be lost.  ``capture()`` severs the inherited
+        parent so worker spans become local roots, and hands back the list
+        they accumulate in — the worker ships ``[s.to_dict() ...]`` over
+        the pipe and the parent re-attaches them with :meth:`adopt`.
+        """
+        return _Capture(self)
+
+    def adopt(self, span_dicts: List[Dict[str, Any]]) -> None:
+        """Attach worker-recorded spans under the current span (or as
+        roots).  Worker spans carry their own wall/CPU durations; their
+        start offsets are not preserved across the pipe."""
+        if not self.enabled or not span_dicts:
+            return
+        parent = self._current.get()
+        for data in span_dicts:
+            span = Span.from_dict(data)
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                self._file_root(span)
+
+
+class _Capture:
+    __slots__ = ("_tracer", "_spans", "_cur_token", "_sink_token")
+
+    def __init__(self, tracer: Tracer):
+        self._tracer = tracer
+        self._spans: List[Span] = []
+
+    def __enter__(self) -> List[Span]:
+        self._cur_token = self._tracer._current.set(None)
+        self._sink_token = self._tracer._sink.set(self._spans)
+        return self._spans
+
+    def __exit__(self, *exc: Any) -> None:
+        self._tracer._current.reset(self._cur_token)
+        self._tracer._sink.reset(self._sink_token)
+
+
+#: Process-wide tracer used by all pipeline instrumentation.
+TRACER = Tracer()
+
+
+def span(name: str, **attributes: Any):
+    """Module-level shortcut for ``TRACER.span`` (the common call site)."""
+    if not TRACER.enabled:
+        return NULL_SPAN
+    return TRACER.span(name, **attributes)
+
+
+def traced(name: Optional[str] = None) -> Callable:
+    return TRACER.traced(name)
+
+
+def trace_enabled() -> bool:
+    return TRACER.enabled
+
+
+def enable_tracing() -> None:
+    """Turn tracing on (the ``--trace`` CLI flag)."""
+    TRACER.enabled = True
+
+
+def disable_tracing() -> None:
+    TRACER.enabled = False

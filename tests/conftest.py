@@ -2,8 +2,14 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+# Keep experiment scripts quiet under pytest: progress logging defaults to
+# "info" on stderr but the suite wants clean output (REPRO_LOG=quiet).
+os.environ.setdefault("REPRO_LOG", "quiet")
 
 from repro.bist.patterns import fast_pattern_matrices
 from repro.circuit.bench import parse_bench

@@ -1,0 +1,19 @@
+"""Telemetry tests share the process-wide tracer/registry — isolate them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import METRICS, TRACER
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """Reset the global tracer and registry around every test, and restore
+    the enabled flag (other test modules must keep seeing the default)."""
+    was_enabled = TRACER.enabled
+    TRACER.reset()
+    yield
+    TRACER.enabled = was_enabled
+    TRACER.reset()
+    METRICS.reset()

@@ -1,0 +1,66 @@
+"""Telemetry across forked workers: metric deltas and span adoption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import fork_available, parallel_map
+from repro.telemetry import METRICS, TRACER, enable_tracing, span
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+def _task(i: int) -> int:
+    METRICS.incr("forktest.calls")
+    METRICS.incr("forktest.value", i)
+    with span("forktest.stage") as sp:
+        sp.add("items", 1)
+    return i * i
+
+
+@needs_fork
+class TestForkMerge:
+    def test_metrics_merge_across_workers(self):
+        before = METRICS.counter("forktest.calls")
+        results = parallel_map(_task, 16, workers=2, min_items=2)
+        assert results == [i * i for i in range(16)]
+        assert METRICS.counter("forktest.calls") - before == 16
+        assert METRICS.counter_total("pool.tasks") >= 16
+
+    def test_pool_metrics_recorded(self):
+        parallel_map(_task, 12, workers=2, min_items=2)
+        snap = METRICS.snapshot()
+        assert snap["histograms"]["pool.chunk_size"]["count"] >= 1
+        assert snap["gauges"]["pool.workers_seen"] >= 1
+        assert 0 < snap["gauges"]["pool.utilization"] <= 1.5
+
+    def test_worker_spans_adopted_under_pool_map(self):
+        enable_tracing()
+        with span("driver") as driver:
+            parallel_map(_task, 10, workers=2, min_items=2)
+        (pool_span,) = [c for c in driver.children if c.name == "pool.map"]
+        worker_spans = [
+            s for s in pool_span.walk() if s.name == "forktest.stage"
+        ]
+        assert len(worker_spans) == 10
+        assert sum(s.counters.get("items", 0) for s in worker_spans) == 10
+
+    def test_serial_path_identical_results(self):
+        serial = parallel_map(_task, 9, workers=0)
+        forked = parallel_map(_task, 9, workers=2, min_items=2)
+        assert serial == forked
+
+
+class TestSerialFallback:
+    def test_small_population_never_forks(self):
+        before = METRICS.counter_total("pool.tasks")
+        results = parallel_map(lambda i: i, 3, workers=4)
+        assert results == [0, 1, 2]
+        assert METRICS.counter_total("pool.tasks") == before
+
+    def test_disabled_tracing_adds_no_spans(self):
+        assert not TRACER.enabled
+        parallel_map(_task, 4, workers=0)
+        assert TRACER.roots() == []

@@ -1,0 +1,128 @@
+"""Manifest build/validate round trip, span rollup, JSONL trace files."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.config import default_config
+from repro.telemetry import (
+    METRICS,
+    MANIFEST_SCHEMA_NAME,
+    build_manifest,
+    config_hash,
+    enable_tracing,
+    read_trace_jsonl,
+    render_span_tree,
+    span,
+    span_rollup,
+    validate_manifest,
+    write_manifest,
+    write_trace_jsonl,
+)
+
+
+def _run_fake_pipeline():
+    enable_tracing()
+    with span("experiment:test"):
+        with span("workload.build", circuit="s27"):
+            with span("fault.sample") as sp:
+                sp.add("responses", 4)
+        with span("diagnose", scheme="two-step") as sp:
+            sp.add("faults", 4)
+    METRICS.incr("cache.misses", 1, labels={"kind": "workload"})
+    METRICS.incr("diagnosis.faults", 4)
+
+
+class TestManifestRoundTrip:
+    def test_build_validate_write_read(self, tmp_path):
+        _run_fake_pipeline()
+        config = default_config(num_faults=4, num_faults_large=4)
+        manifest = build_manifest(config=config, seed=config.fault_seed,
+                                  extra={"trace_file": "trace.jsonl"})
+        assert validate_manifest(manifest) == []
+        assert manifest["schema"] == MANIFEST_SCHEMA_NAME
+        assert manifest["seed"] == config.fault_seed
+        assert manifest["config_hash"] == config_hash(config)
+        path = write_manifest(tmp_path / "manifest.json", manifest)
+        loaded = json.loads(path.read_text())
+        assert validate_manifest(loaded) == []
+        names = {row["name"] for row in loaded["span_rollup"]}
+        assert {"experiment:test", "workload.build", "fault.sample",
+                "diagnose"} <= names
+        assert loaded["metrics"]["counters"]["diagnosis.faults"] == 4
+
+    def test_env_knobs_recorded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        manifest = build_manifest()
+        assert manifest["env"]["REPRO_WORKERS"] == "3"
+        assert "REPRO_CACHE" in manifest["env"]
+
+    def test_config_hash_stable_and_sensitive(self):
+        a = default_config(num_faults=4, num_faults_large=4)
+        b = default_config(num_faults=4, num_faults_large=4)
+        c = default_config(num_faults=5, num_faults_large=5)
+        assert config_hash(a) == config_hash(b)
+        assert config_hash(a) != config_hash(c)
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_manifest([]) != []
+        assert validate_manifest(None) != []
+
+    def test_reports_missing_and_mistyped_fields(self):
+        manifest = build_manifest()
+        del manifest["git_sha"]
+        manifest["span_rollup"] = "nope"
+        errors = validate_manifest(manifest)
+        assert any("git_sha: missing" in e for e in errors)
+        assert any("span_rollup" in e for e in errors)
+
+    def test_rejects_future_schema_version(self):
+        manifest = build_manifest()
+        manifest["schema_version"] = 999
+        assert any("newer" in e for e in validate_manifest(manifest))
+
+
+class TestRollup:
+    def test_rollup_aggregates_by_name(self):
+        enable_tracing()
+        for _ in range(3):
+            with span("diagnose") as sp:
+                sp.add("faults", 2)
+        rollup = {row["name"]: row for row in span_rollup()}
+        assert rollup["diagnose"]["count"] == 3
+        assert rollup["diagnose"]["counters"] == {"faults": 6}
+
+    def test_self_time_excludes_children(self):
+        import time
+
+        enable_tracing()
+        with span("parent"):
+            with span("child"):
+                time.sleep(0.005)
+        rollup = {row["name"]: row for row in span_rollup()}
+        assert rollup["parent"]["self_s"] <= rollup["parent"]["wall_s"]
+        assert rollup["child"]["wall_s"] >= 0.004
+
+    def test_render_tree_mentions_stages(self):
+        _run_fake_pipeline()
+        tree = render_span_tree()
+        assert "experiment:test" in tree
+        assert "workload.build" in tree
+        assert "circuit=s27" in tree
+
+
+class TestTraceJsonl:
+    def test_jsonl_roundtrip(self, tmp_path):
+        _run_fake_pipeline()
+        path = write_trace_jsonl(tmp_path / "trace.jsonl")
+        spans = read_trace_jsonl(path)
+        assert [s.name for s in spans] == ["experiment:test"]
+        assert [c.name for c in spans[0].children] == [
+            "workload.build", "diagnose"
+        ]
+        # Rollup over the reloaded spans matches the live one by names.
+        live = {row["name"] for row in span_rollup()}
+        reloaded = {row["name"] for row in span_rollup(spans)}
+        assert live == reloaded

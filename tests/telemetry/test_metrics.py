@@ -1,0 +1,121 @@
+"""MetricsRegistry: counters, gauges, histograms, snapshot algebra."""
+
+from __future__ import annotations
+
+from repro.telemetry import (
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+    split_metric_key,
+)
+
+
+class TestKeys:
+    def test_plain_and_labelled(self):
+        assert metric_key("cache.hits") == "cache.hits"
+        key = metric_key("cache.hits", {"kind": "workload"})
+        assert key == "cache.hits{kind=workload}"
+
+    def test_labels_sorted_canonically(self):
+        a = metric_key("m", {"b": 2, "a": 1})
+        b = metric_key("m", {"a": 1, "b": 2})
+        assert a == b == "m{a=1,b=2}"
+
+    def test_split_roundtrip(self):
+        name, labels = split_metric_key("pool.tasks{worker=3}")
+        assert name == "pool.tasks"
+        assert labels == {"worker": "3"}
+        assert split_metric_key("plain") == ("plain", {})
+
+
+class TestCounters:
+    def test_incr_accumulates(self):
+        reg = MetricsRegistry()
+        reg.incr("a")
+        reg.incr("a", 4)
+        assert reg.counter("a") == 5
+
+    def test_label_dimensions_are_distinct(self):
+        reg = MetricsRegistry()
+        reg.incr("cache.hits", 2, labels={"kind": "workload"})
+        reg.incr("cache.hits", 3, labels={"kind": "partitions"})
+        assert reg.counter("cache.hits", {"kind": "workload"}) == 2
+        assert reg.counter_total("cache.hits") == 5
+
+
+class TestHistograms:
+    def test_streaming_summary(self):
+        hist = Histogram()
+        for value in (2.0, 4.0, 6.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 12.0
+        assert (hist.min, hist.max) == (2.0, 6.0)
+        assert hist.mean == 4.0
+
+    def test_merge_combines_bounds(self):
+        a = Histogram()
+        a.observe(1.0)
+        b = Histogram()
+        b.observe(5.0)
+        b.observe(9.0)
+        a.merge(b.to_dict())
+        assert a.count == 3
+        assert (a.min, a.max) == (1.0, 9.0)
+
+    def test_merge_empty_is_noop(self):
+        hist = Histogram()
+        hist.observe(2.0)
+        hist.merge(Histogram().to_dict())
+        assert hist.count == 1
+
+
+class TestSnapshotAlgebra:
+    def test_diff_reports_only_activity(self):
+        reg = MetricsRegistry()
+        reg.incr("before", 10)
+        before = reg.snapshot()
+        reg.incr("before", 1)
+        reg.incr("fresh", 2)
+        reg.observe("h", 3.0)
+        delta = reg.diff(before)
+        assert delta["counters"] == {"before": 1, "fresh": 2}
+        assert delta["histograms"]["h"]["count"] == 1
+
+    def test_merge_of_diff_reconstructs_totals(self):
+        """Parent + child-delta == child having run in the parent: the
+        fork-merge invariant."""
+        parent = MetricsRegistry()
+        parent.incr("faults", 5)
+        parent.observe("chunk", 2.0)
+        # Simulate the forked child: it inherits a copy, works, diffs.
+        child = MetricsRegistry()
+        child.merge(parent.snapshot())
+        inherited = child.snapshot()
+        child.incr("faults", 7)
+        child.observe("chunk", 4.0)
+        child.gauge("util", 0.5)
+        parent.merge(child.diff(inherited))
+        assert parent.counter("faults") == 12
+        snap = parent.snapshot()
+        assert snap["histograms"]["chunk"]["count"] == 2
+        assert snap["histograms"]["chunk"]["sum"] == 6.0
+        assert snap["gauges"]["util"] == 0.5
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.incr("a")
+        reg.gauge("g", 1.0)
+        reg.observe("h", 1.0)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.incr("a", 2)
+        reg.observe("h", 1.5)
+        reg.gauge("g", 0.25)
+        assert json.loads(json.dumps(reg.snapshot()))["counters"]["a"] == 2

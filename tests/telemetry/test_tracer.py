@@ -1,0 +1,163 @@
+"""Span nesting, timing monotonicity, and the disabled no-op path."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.telemetry import (
+    NULL_SPAN,
+    Span,
+    TRACER,
+    disable_tracing,
+    enable_tracing,
+    span,
+    trace_enabled,
+    traced,
+)
+
+
+class TestNesting:
+    def test_children_attach_to_enclosing_span(self):
+        enable_tracing()
+        with span("outer") as outer:
+            with span("middle") as middle:
+                with span("inner"):
+                    pass
+            with span("middle2"):
+                pass
+        assert [c.name for c in outer.children] == ["middle", "middle2"]
+        assert [c.name for c in middle.children] == ["inner"]
+
+    def test_finished_roots_collected_in_order(self):
+        enable_tracing()
+        with span("first"):
+            pass
+        with span("second"):
+            pass
+        assert [s.name for s in TRACER.roots()] == ["first", "second"]
+
+    def test_attributes_and_counters(self):
+        enable_tracing()
+        with span("stage", circuit="s953") as sp:
+            sp.set_attribute("patterns", 128)
+            sp.add("faults", 3)
+            sp.add("faults", 2)
+        assert sp.attributes == {"circuit": "s953", "patterns": 128}
+        assert sp.counters == {"faults": 5}
+
+    def test_walk_covers_whole_tree(self):
+        enable_tracing()
+        with span("a"):
+            with span("b"):
+                with span("c"):
+                    pass
+            with span("d"):
+                pass
+        (root,) = TRACER.roots()
+        assert [s.name for s in root.walk()] == ["a", "b", "c", "d"]
+
+
+class TestTiming:
+    def test_durations_monotone_and_nested(self):
+        enable_tracing()
+        with span("outer") as outer:
+            time.sleep(0.002)
+            with span("inner") as inner:
+                time.sleep(0.002)
+            time.sleep(0.002)
+        assert outer.closed and inner.closed
+        assert inner.duration_s > 0
+        assert outer.duration_s >= inner.duration_s
+        assert inner.start_wall >= outer.start_wall
+        assert inner.end_wall <= outer.end_wall
+        # Self time excludes the child.
+        assert outer.self_s <= outer.duration_s - inner.duration_s + 1e-6
+
+    def test_cpu_time_recorded(self):
+        enable_tracing()
+        with span("busy") as sp:
+            sum(i * i for i in range(50_000))
+        assert sp.cpu_s > 0
+        assert sp.duration_s > 0
+
+
+class TestDisabled:
+    def test_no_spans_and_no_stderr(self, capsys):
+        disable_tracing()
+        with span("anything") as sp:
+            with span("nested"):
+                pass
+        assert sp is NULL_SPAN
+        assert TRACER.roots() == []
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert captured.out == ""
+
+    def test_null_span_api_is_inert(self):
+        disable_tracing()
+        with span("x") as sp:
+            sp.set_attribute("k", "v")
+            sp.add("n", 3)
+        assert TRACER.roots() == []
+
+    def test_decorator_passthrough_when_disabled(self):
+        disable_tracing()
+
+        @traced("wrapped")
+        def compute(x):
+            return x + 1
+
+        assert compute(1) == 2
+        assert TRACER.roots() == []
+
+    def test_enable_disable_roundtrip(self):
+        disable_tracing()
+        assert not trace_enabled()
+        enable_tracing()
+        assert trace_enabled()
+        with span("now-on"):
+            pass
+        assert [s.name for s in TRACER.roots()] == ["now-on"]
+
+
+class TestDecorator:
+    def test_traced_records_span(self):
+        enable_tracing()
+
+        @traced()
+        def stage():
+            return 42
+
+        assert stage() == 42
+        (root,) = TRACER.roots()
+        assert root.name.endswith("stage")
+
+
+class TestWireFormat:
+    def test_dict_roundtrip_preserves_tree(self):
+        enable_tracing()
+        with span("root", circuit="s27") as root:
+            root.add("events", 7)
+            with span("leaf"):
+                pass
+        data = root.to_dict()
+        clone = Span.from_dict(data)
+        assert clone.name == "root"
+        assert clone.attributes == {"circuit": "s27"}
+        assert clone.counters == {"events": 7}
+        assert [c.name for c in clone.children] == ["leaf"]
+        assert abs(clone.duration_s - root.duration_s) < 1e-6
+
+    def test_capture_and_adopt(self):
+        """The fork-merge protocol: spans closed inside a capture are
+        detached, and adopt re-attaches them under the current span."""
+        enable_tracing()
+        with TRACER.capture() as collected:
+            with span("worker-stage"):
+                pass
+        assert [s.name for s in collected] == ["worker-stage"]
+        assert TRACER.roots() == []  # captured, not filed globally
+        with span("parent") as parent:
+            TRACER.adopt([s.to_dict() for s in collected])
+        assert [c.name for c in parent.children] == ["worker-stage"]
