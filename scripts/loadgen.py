@@ -1,0 +1,361 @@
+#!/usr/bin/env python
+"""Open-loop load generator for the diagnosis service.
+
+Drives ``POST /diagnose`` with a configurable request rate (``--rps``;
+0 = closed-loop, as fast as ``--concurrency`` in-flight requests allow),
+collects exact client-side latencies, and writes a machine-readable
+report (default ``BENCH_PR3.json``) with throughput, p50/p95/p99 latency,
+per-code outcome counts and — when ``--baseline N`` is given — the
+measured speedup over ``N`` sequential one-shot CLI invocations (each of
+which re-pays interpreter start-up, netlist compile and golden
+simulation; the service pays them once).
+
+``--spawn`` makes the run self-contained: start a server subprocess, wait
+for ``/healthz``, apply the load, validate ``/metrics`` (well-formed JSON
+with queue/batching/latency sections), then SIGTERM it and record whether
+it drained and exited cleanly — exactly the sequence the CI smoke job
+runs.  ``--verify`` additionally checks determinism: every reply for a
+given fault index must be bit-identical across the run *and* equal to the
+direct in-process ``core.diagnosis`` result.
+
+Run:  PYTHONPATH=src python scripts/loadgen.py --requests 200
+          [--rps 0] [--concurrency 200] [--circuit s953]
+          [--spawn] [--baseline 5] [--verify] [--fail-on-5xx]
+          [--out BENCH_PR3.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from queue import Empty, Queue
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service.client import ServiceClient, TransportError  # noqa: E402
+from repro.service.protocol import ServiceError  # noqa: E402
+
+
+def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None,
+                        help="server port (default REPRO_SERVE_PORT or 8953; "
+                        "--spawn picks a free port automatically)")
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--rps", type=float, default=0.0,
+                        help="open-loop arrival rate; 0 = closed loop")
+    parser.add_argument("--concurrency", type=int, default=200,
+                        help="max in-flight requests (worker threads)")
+    parser.add_argument("--circuit", default="s953")
+    parser.add_argument("--scheme", default="two-step")
+    parser.add_argument("--fault-count", type=int, default=20)
+    parser.add_argument("--patterns", type=int, default=128)
+    parser.add_argument("--timeout-ms", type=float, default=30000.0)
+    parser.add_argument("--baseline", type=int, default=0, metavar="N",
+                        help="also time N sequential one-shot CLI runs")
+    parser.add_argument("--spawn", action="store_true",
+                        help="start/SIGTERM a server subprocess around the run")
+    parser.add_argument("--verify", action="store_true",
+                        help="check replies are deterministic and match the "
+                        "direct core.diagnosis path")
+    parser.add_argument("--fail-on-5xx", action="store_true",
+                        help="exit 1 on any 5xx / dropped response")
+    parser.add_argument("--batch-max", type=int, default=None)
+    parser.add_argument("--batch-wait-ms", type=float, default=None)
+    parser.add_argument("--queue-depth", type=int, default=None)
+    parser.add_argument("--out", default="BENCH_PR3.json")
+    return parser.parse_args(argv)
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def spawn_server(args: argparse.Namespace) -> subprocess.Popen:
+    cmd = [sys.executable, "-m", "repro.cli", "serve",
+           "--host", args.host, "--port", str(args.port),
+           "--prewarm", args.circuit]
+    if args.batch_max is not None:
+        cmd += ["--batch-max", str(args.batch_max)]
+    if args.batch_wait_ms is not None:
+        cmd += ["--batch-wait-ms", str(args.batch_wait_ms)]
+    if args.queue_depth is not None:
+        cmd += ["--queue-depth", str(args.queue_depth)]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.Popen(cmd, env=env)
+
+
+class Outcome:
+    __slots__ = ("code", "latency_s", "fault_index", "candidates")
+
+    def __init__(self, code: str, latency_s: float, fault_index: int,
+                 candidates: Optional[tuple] = None):
+        self.code = code
+        self.latency_s = latency_s
+        self.fault_index = fault_index
+        self.candidates = candidates
+
+
+def run_load(args: argparse.Namespace) -> List[Outcome]:
+    """Fire ``--requests`` diagnoses and collect every outcome."""
+    schedule: "Queue[int]" = Queue()
+    for k in range(args.requests):
+        schedule.put(k)
+    outcomes: List[Outcome] = []
+    lock = threading.Lock()
+    t0 = time.monotonic()
+
+    def worker() -> None:
+        client = ServiceClient(args.host, args.port,
+                               timeout_s=args.timeout_ms / 1000 + 30)
+        try:
+            while True:
+                try:
+                    k = schedule.get_nowait()
+                except Empty:
+                    return
+                if args.rps > 0:
+                    # Open loop: request k is *scheduled* at t0 + k/rps,
+                    # regardless of how earlier requests are doing.
+                    delay = t0 + k / args.rps - time.monotonic()
+                    if delay > 0:
+                        time.sleep(delay)
+                fault_index = k % args.fault_count
+                payload = {
+                    "circuit": args.circuit,
+                    "scheme": args.scheme,
+                    "fault_index": fault_index,
+                    "fault_count": args.fault_count,
+                    "num_patterns": args.patterns,
+                    "timeout_ms": args.timeout_ms,
+                    "request_id": str(k),
+                }
+                started = time.monotonic()
+                try:
+                    reply = client.diagnose(payload)
+                    outcome = Outcome("ok", time.monotonic() - started,
+                                      fault_index,
+                                      tuple(reply.candidate_cells))
+                except ServiceError as exc:
+                    outcome = Outcome(exc.code, time.monotonic() - started,
+                                      fault_index)
+                except TransportError:
+                    outcome = Outcome("transport_error",
+                                      time.monotonic() - started, fault_index)
+                with lock:
+                    outcomes.append(outcome)
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker, daemon=True)
+               for _ in range(min(args.concurrency, args.requests))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return outcomes
+
+
+def quantile_ms(samples: List[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return round(ordered[rank] * 1000, 3)
+
+
+def summarize(outcomes: List[Outcome], wall_s: float) -> Dict[str, Any]:
+    codes: Dict[str, int] = {}
+    for o in outcomes:
+        codes[o.code] = codes.get(o.code, 0) + 1
+    ok_latencies = [o.latency_s for o in outcomes if o.code == "ok"]
+    return {
+        "requests": len(outcomes),
+        "ok": codes.get("ok", 0),
+        "codes": dict(sorted(codes.items())),
+        "wall_s": round(wall_s, 3),
+        "throughput_rps": round(codes.get("ok", 0) / wall_s, 2) if wall_s else 0.0,
+        "latency_ms": {
+            "mean": round(sum(ok_latencies) / len(ok_latencies) * 1000, 3)
+            if ok_latencies else 0.0,
+            "p50": quantile_ms(ok_latencies, 0.50),
+            "p95": quantile_ms(ok_latencies, 0.95),
+            "p99": quantile_ms(ok_latencies, 0.99),
+            "max": quantile_ms(ok_latencies, 1.0),
+        },
+    }
+
+
+def run_baseline(args: argparse.Namespace) -> Dict[str, Any]:
+    """Sequential one-shot CLI invocations: the cost the service amortizes."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    cmd = [sys.executable, "-m", "repro.cli", "diagnose", args.circuit,
+           "--faults", "1", "--patterns", str(args.patterns),
+           "--scheme", args.scheme]
+    runs = []
+    for _ in range(args.baseline):
+        started = time.monotonic()
+        subprocess.run(cmd, env=env, check=True, stdout=subprocess.DEVNULL,
+                       stderr=subprocess.DEVNULL)
+        runs.append(time.monotonic() - started)
+    mean_s = sum(runs) / len(runs)
+    return {
+        "runs": len(runs),
+        "mean_s": round(mean_s, 3),
+        "rps": round(1.0 / mean_s, 3),
+    }
+
+
+def verify_determinism(args: argparse.Namespace,
+                       outcomes: List[Outcome]) -> Dict[str, Any]:
+    """Replies must agree per fault index and match core.diagnosis."""
+    from repro.service.engine import DiagnosisEngine
+    from repro.service.protocol import DiagnoseRequest
+
+    by_index: Dict[int, set] = {}
+    for o in outcomes:
+        if o.code == "ok" and o.candidates is not None:
+            by_index.setdefault(o.fault_index, set()).add(o.candidates)
+    unstable = sorted(i for i, seen in by_index.items() if len(seen) > 1)
+    engine = DiagnosisEngine(workers=0)
+    mismatched = []
+    for index, seen in sorted(by_index.items()):
+        request = DiagnoseRequest.from_payload({
+            "circuit": args.circuit, "scheme": args.scheme,
+            "fault_index": index, "fault_count": args.fault_count,
+            "num_patterns": args.patterns,
+        })
+        direct = engine.execute_batch([request])[0]
+        if tuple(direct.candidate_cells) not in seen:
+            mismatched.append(index)
+    return {
+        "indices_checked": len(by_index),
+        "unstable_indices": unstable,
+        "direct_mismatches": mismatched,
+        "ok": not unstable and not mismatched,
+    }
+
+
+def check_metrics(client: ServiceClient) -> Dict[str, Any]:
+    payload = client.metrics()
+    problems = []
+    for key in ("queue", "batching", "latency", "requests", "registry"):
+        if key not in payload:
+            problems.append(f"missing {key!r}")
+    latency = payload.get("latency", {}).get("total", {})
+    if not latency.get("count"):
+        problems.append("latency.total.count is 0 after load")
+    batching = payload.get("batching", {})
+    if not batching.get("batches"):
+        problems.append("batching.batches is 0 after load")
+    return {
+        "well_formed": not problems,
+        "problems": problems,
+        "queue": payload.get("queue"),
+        "batching": {k: batching.get(k) for k in
+                     ("batch_max", "batch_wait_ms", "batches", "batch_size")},
+        "latency": payload.get("latency"),
+        "rejected": payload.get("rejected"),
+        "timeouts": payload.get("timeouts"),
+        "degraded": payload.get("degraded"),
+        "cache": payload.get("cache"),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = parse_args(argv)
+    if args.port is None:
+        args.port = free_port() if args.spawn else int(
+            os.environ.get("REPRO_SERVE_PORT", "8953"))
+    report: Dict[str, Any] = {
+        "schema": "repro-loadgen-report",
+        "version": 1,
+        "python": platform.python_version(),
+        "config": {
+            "requests": args.requests, "rps": args.rps,
+            "concurrency": args.concurrency, "circuit": args.circuit,
+            "scheme": args.scheme, "fault_count": args.fault_count,
+            "patterns": args.patterns, "timeout_ms": args.timeout_ms,
+        },
+    }
+    proc: Optional[subprocess.Popen] = None
+    failed = False
+    try:
+        if args.spawn:
+            proc = spawn_server(args)
+        client = ServiceClient(args.host, args.port)
+        client.wait_ready(timeout_s=120)
+
+        started = time.monotonic()
+        outcomes = run_load(args)
+        wall_s = time.monotonic() - started
+        report["service"] = summarize(outcomes, wall_s)
+
+        report["metrics_after"] = check_metrics(client)
+        if args.verify:
+            report["determinism"] = verify_determinism(args, outcomes)
+            if not report["determinism"]["ok"]:
+                failed = True
+        client.close()
+
+        if args.baseline:
+            report["baseline_oneshot"] = run_baseline(args)
+            base_rps = report["baseline_oneshot"]["rps"]
+            if base_rps:
+                report["speedup_vs_oneshot"] = round(
+                    report["service"]["throughput_rps"] / base_rps, 2)
+
+        dropped = report["service"]["requests"] - sum(
+            report["service"]["codes"].get(code, 0)
+            for code in ("ok", "queue_full", "deadline_exceeded"))
+        report["service"]["dropped"] = dropped
+        any_5xx = any(code in ("internal_error", "shutting_down",
+                               "transport_error")
+                      for code in report["service"]["codes"])
+        if args.fail_on_5xx and (any_5xx or dropped):
+            failed = True
+        if not report["metrics_after"]["well_formed"]:
+            failed = True
+    finally:
+        if proc is not None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                exit_code = proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                exit_code = proc.wait()
+            report["drain"] = {
+                "signal": "SIGTERM",
+                "exit_code": exit_code,
+                "clean": exit_code == 0,
+            }
+            if exit_code != 0:
+                failed = True
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps({k: v for k, v in report.items() if k != "metrics_after"},
+                     indent=2))
+    print(f"wrote {out}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ setup(
         "console_scripts": [
             "repro-diagnose = repro.cli:diagnose_main",
             "repro-experiment = repro.cli:experiment_main",
+            "repro-serve = repro.cli:serve_main",
         ]
     }
 )

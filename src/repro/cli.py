@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three entry points (also runnable as ``python -m repro.cli``):
+Four entry points (also runnable as ``python -m repro.cli``):
 
 * ``repro-diagnose`` — inject sampled stuck-at faults into a benchmark
   circuit and report candidate failing scan cells / DR for a scheme.
@@ -8,6 +8,10 @@ Three entry points (also runnable as ``python -m repro.cli``):
   (or an ablation / extension) by name; ``--trace`` additionally prints
   the span tree, writes a ``trace.jsonl`` span log and a ``manifest.json``
   run manifest.
+* ``repro-serve`` / ``python -m repro.cli serve`` — long-lived batching
+  diagnosis server (:mod:`repro.service`): POST /diagnose, GET /healthz,
+  GET /metrics; knobs via ``REPRO_SERVE_PORT``, ``REPRO_BATCH_MAX``,
+  ``REPRO_BATCH_WAIT_MS``, ``REPRO_QUEUE_DEPTH``.
 * ``python -m repro.cli stats <manifest.json|trace.jsonl>`` — render the
   hot-path table and cache/pool summaries of a previous traced run.
 
@@ -219,7 +223,11 @@ def stats_main(argv: Optional[List[str]] = None) -> int:
     if not path.exists():
         print(f"no such file: {path}", file=sys.stderr)
         return 2
-    rollup, metrics = _load_telemetry(path)
+    try:
+        rollup, metrics = _load_telemetry(path)
+    except TelemetryFileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if not rollup:
         print(f"{path}: no spans recorded (was the run traced?)")
         return 0
@@ -252,12 +260,37 @@ def stats_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+class TelemetryFileError(Exception):
+    """A telemetry file that cannot be summarized (empty, truncated,
+    corrupt) — reported as a clear CLI error, never a traceback."""
+
+
 def _load_telemetry(path: Path):
-    """(span rollup, metrics-or-None) from a manifest or a JSONL trace."""
+    """(span rollup, metrics-or-None) from a manifest or a JSONL trace.
+
+    Raises :class:`TelemetryFileError` for empty or truncated files — a
+    crashed or killed traced run leaves exactly those behind.
+    """
+    if path.stat().st_size == 0:
+        raise TelemetryFileError(
+            f"{path} is empty (did the traced run crash before exporting?)")
     if path.suffix == ".jsonl":
-        spans = telemetry.read_trace_jsonl(path)
+        try:
+            spans = telemetry.read_trace_jsonl(path)
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise TelemetryFileError(
+                f"{path} is not a valid span log (truncated or corrupt "
+                f"line?): {exc}") from exc
         return telemetry.span_rollup(spans), None
-    manifest = json.loads(path.read_text())
+    try:
+        manifest = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise TelemetryFileError(
+            f"{path} is not valid JSON (truncated manifest?): {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise TelemetryFileError(
+            f"{path} does not hold a manifest object "
+            f"(got {type(manifest).__name__})")
     errors = telemetry.validate_manifest(manifest)
     if errors:
         print(f"warning: {path} fails manifest schema:", file=sys.stderr)
@@ -322,16 +355,26 @@ def _pool_summary(metrics: Dict[str, Any]) -> List[list]:
     return rows
 
 
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-serve`` (imports the service lazily so the
+    one-shot commands never pay for asyncio)."""
+    from .service.server import serve_main as _serve_main
+
+    return _serve_main(argv)
+
+
 def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
-    """``python -m repro.cli [diagnose|experiment|stats] ...``"""
+    """``python -m repro.cli [diagnose|experiment|serve|stats] ...``"""
     argv = list(sys.argv[1:] if argv is None else argv)
-    if not argv or argv[0] not in ("diagnose", "experiment", "stats"):
-        print("usage: python -m repro.cli {diagnose,experiment,stats} ...",
+    if not argv or argv[0] not in ("diagnose", "experiment", "serve", "stats"):
+        print("usage: python -m repro.cli {diagnose,experiment,serve,stats} ...",
               file=sys.stderr)
         return 2
     command = argv.pop(0)
     if command == "diagnose":
         return diagnose_main(argv)
+    if command == "serve":
+        return serve_main(argv)
     if command == "stats":
         return stats_main(argv)
     return experiment_main(argv)

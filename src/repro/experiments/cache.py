@@ -18,12 +18,16 @@ Keys must capture *every* input that influences the value:
   num_groups, num_partitions, lfsr_degree, seed,
   num_interval_partitions)``
 
-The store **never evicts** — workload counts are small (dozens per run)
-and values are shared, so the policy is "keep everything"; ``stats()``
-reports ``evictions`` (always 0, recorded so trend tooling notices if the
-policy ever changes) and the size in entries.  Hits and misses are also
-reported per kind into :data:`repro.telemetry.METRICS` as
-``cache.hits{kind=...}`` / ``cache.misses{kind=...}``.
+The store **never evicts on its own** — workload counts are small (dozens
+per run) and values are shared, so the default policy is "keep
+everything".  Long-lived processes (the diagnosis *service*) can bound
+resident memory explicitly with :func:`evict`, which drops one entry and
+counts into ``stats().evictions``; batch experiment runs never call it, so
+for them the counter stays 0.  Hits and misses are also reported per kind
+into :data:`repro.telemetry.METRICS` as ``cache.hits{kind=...}`` /
+``cache.misses{kind=...}``, and the resident footprint as the
+``cache.bytes`` gauge (estimated recursively: numpy buffers dominate, so
+the estimate is accurate where it matters).
 
 Set ``REPRO_CACHE=0`` to disable (every lookup misses); ``clear()``
 empties the store, e.g. between benchmark timing passes.
@@ -32,6 +36,7 @@ empties the store, e.g. between benchmark timing passes.
 from __future__ import annotations
 
 import os
+import sys
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, Tuple
@@ -40,6 +45,9 @@ from ..telemetry import METRICS
 
 _LOCK = threading.RLock()
 _STORE: Dict[Tuple[str, Hashable], Any] = {}
+#: Estimated resident bytes per entry (same keys as ``_STORE``).
+_SIZES: Dict[Tuple[str, Hashable], int] = {}
+_EVICTIONS = 0
 
 
 @dataclass
@@ -50,8 +58,10 @@ class CacheStats:
     misses: Dict[str, int] = field(default_factory=dict)
     #: Live entries in the store (all kinds).
     entries: int = 0
-    #: Always 0 — the store never evicts (documented policy).
+    #: Entries dropped via :func:`evict` (0 unless a caller bounds memory).
     evictions: int = 0
+    #: Estimated resident bytes of all live entries.
+    bytes: int = 0
 
     def record(self, kind: str, hit: bool) -> None:
         table = self.hits if hit else self.misses
@@ -101,17 +111,46 @@ def memoized(kind: str, key: Hashable, builder: Callable[[], Any]) -> Any:
     with _LOCK:
         _record(kind, hit=False)
         value = _STORE.setdefault(full_key, value)
+        if full_key not in _SIZES:
+            _SIZES[full_key] = estimate_bytes(value)
         METRICS.gauge("cache.entries", len(_STORE))
+        METRICS.gauge("cache.bytes", sum(_SIZES.values()))
         return value
+
+
+def evict(kind: str, key: Hashable) -> bool:
+    """Drop one entry (True if it was resident).
+
+    The only eviction path: the memo store itself never ages anything out.
+    Long-lived servers call this to bound resident memory (see
+    :class:`repro.service.engine.DiagnosisEngine`); re-requesting an
+    evicted key simply rebuilds it (a miss), so eviction is always safe.
+    """
+    global _EVICTIONS
+    full_key = (kind, key)
+    with _LOCK:
+        if full_key not in _STORE:
+            return False
+        del _STORE[full_key]
+        _SIZES.pop(full_key, None)
+        _EVICTIONS += 1
+        METRICS.incr("cache.evictions", 1, labels={"kind": kind})
+        METRICS.gauge("cache.entries", len(_STORE))
+        METRICS.gauge("cache.bytes", sum(_SIZES.values()))
+        return True
 
 
 def clear() -> None:
     """Empty the store and reset the counters."""
+    global _EVICTIONS
     with _LOCK:
         _STORE.clear()
+        _SIZES.clear()
         _STATS.hits.clear()
         _STATS.misses.clear()
+        _EVICTIONS = 0
         METRICS.gauge("cache.entries", 0)
+        METRICS.gauge("cache.bytes", 0)
 
 
 def stats() -> CacheStats:
@@ -121,8 +160,50 @@ def stats() -> CacheStats:
             hits=dict(_STATS.hits),
             misses=dict(_STATS.misses),
             entries=len(_STORE),
-            evictions=0,
+            evictions=_EVICTIONS,
+            bytes=sum(_SIZES.values()),
         )
+
+
+def total_bytes() -> int:
+    """Estimated resident bytes of the whole store."""
+    with _LOCK:
+        return sum(_SIZES.values())
+
+
+def estimate_bytes(value: Any, _seen: Any = None, _depth: int = 0) -> int:
+    """Recursive size estimate biased toward what actually costs memory.
+
+    numpy buffers report ``nbytes`` exactly; containers and dataclasses
+    recurse (cycle-safe, depth-capped); everything else falls back to
+    ``sys.getsizeof``.  Shared sub-objects are counted once.
+    """
+    if _seen is None:
+        _seen = set()
+    if _depth > 12 or id(value) in _seen:
+        return 0
+    _seen.add(id(value))
+    nbytes = getattr(value, "nbytes", None)
+    if isinstance(nbytes, int):
+        # numpy arrays (and anything else exposing a buffer size).
+        return nbytes + 96
+    try:
+        size = sys.getsizeof(value)
+    except TypeError:  # pragma: no cover - exotic objects
+        size = 64
+    if isinstance(value, dict):
+        for k, v in value.items():
+            size += estimate_bytes(k, _seen, _depth + 1)
+            size += estimate_bytes(v, _seen, _depth + 1)
+    elif isinstance(value, (list, tuple, set, frozenset)):
+        for item in value:
+            size += estimate_bytes(item, _seen, _depth + 1)
+    elif hasattr(value, "__dict__"):
+        size += estimate_bytes(vars(value), _seen, _depth + 1)
+    elif hasattr(value, "__slots__"):
+        for slot in value.__slots__:
+            size += estimate_bytes(getattr(value, slot, None), _seen, _depth + 1)
+    return size
 
 
 def cache_size() -> int:

@@ -43,6 +43,17 @@ class Workload:
         return self.scan_config.num_cells
 
 
+def circuit_workload_key(
+    circuit_name: str, config: ExperimentConfig, num_patterns: Optional[int] = None
+):
+    """The memo key :func:`build_circuit_workload` caches under — exposed so
+    long-lived callers (the diagnosis service) can ``cache.evict`` exactly
+    what the builder stored."""
+    patterns = num_patterns or config.num_patterns
+    fault_count = config.faults_for(circuit_name)
+    return (circuit_name, config.scale, patterns, config.fault_seed, fault_count)
+
+
 def build_circuit_workload(
     circuit_name: str, config: ExperimentConfig, num_patterns: Optional[int] = None
 ) -> Workload:
@@ -54,7 +65,7 @@ def build_circuit_workload(
     """
     patterns = num_patterns or config.num_patterns
     fault_count = config.faults_for(circuit_name)
-    key = (circuit_name, config.scale, patterns, config.fault_seed, fault_count)
+    key = circuit_workload_key(circuit_name, config, patterns)
     return cache.memoized(
         "workload", key,
         lambda: _build_circuit_workload(circuit_name, config, patterns, fault_count),

@@ -1,0 +1,123 @@
+"""Log-bucketed latency histograms with quantile estimates.
+
+The PR 2 :class:`repro.telemetry.metrics.Histogram` keeps count/sum/min/
+max — enough for manifests, useless for tail latency.  The serving layer
+needs p50/p95/p99 under sustained load, so this module adds a fixed-size
+log-spaced bucket histogram: O(1) observe, O(buckets) quantile, no sample
+retention, deterministic results for a given observation multiset.
+
+Buckets span 0.1 ms .. ~107 s with ~9.6% relative width (8 buckets per
+octave), so a quantile estimate is within one bucket (<10%) of the true
+value — plenty for dashboards and regression gates.  Observations are also
+forwarded to a ``METRICS`` histogram by the server, so manifests and
+``repro stats`` keep seeing the count/sum/min/max view.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Sequence
+
+#: Smallest resolvable latency (seconds); anything below lands in bucket 0.
+_FLOOR_S = 1e-4
+#: Buckets per factor-of-two; 8 -> 2**(1/8) ≈ 1.09 relative resolution.
+_PER_OCTAVE = 8
+#: Total buckets: 20 octaves above the floor (~107 s ceiling).
+_NUM_BUCKETS = 20 * _PER_OCTAVE
+
+
+def _bucket_index(seconds: float) -> int:
+    if seconds <= _FLOOR_S:
+        return 0
+    index = int(math.log2(seconds / _FLOOR_S) * _PER_OCTAVE) + 1
+    return min(index, _NUM_BUCKETS - 1)
+
+
+def _bucket_upper_s(index: int) -> float:
+    """Upper bound of a bucket (the value a quantile in it reports)."""
+    if index == 0:
+        return _FLOOR_S
+    return _FLOOR_S * 2.0 ** (index / _PER_OCTAVE)
+
+
+class LatencyHistogram:
+    """Thread-safe log-bucket histogram over seconds."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._buckets = [0] * _NUM_BUCKETS
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        with self._lock:
+            self._buckets[_bucket_index(seconds)] += 1
+            self._count += 1
+            self._sum += seconds
+            self._max = max(self._max, seconds)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper bound of the bucket holding the q-quantile (None if empty)."""
+        if not 0 < q <= 1:
+            raise ValueError("quantile must be in (0, 1]")
+        with self._lock:
+            if not self._count:
+                return None
+            rank = math.ceil(q * self._count)
+            seen = 0
+            for index, n in enumerate(self._buckets):
+                seen += n
+                if seen >= rank:
+                    return min(_bucket_upper_s(index), self._max)
+        return self._max  # pragma: no cover - rank <= count always hits
+
+    def summary(self, quantiles: Sequence[float] = (0.5, 0.95, 0.99)) -> Dict[str, float]:
+        """JSON-ready snapshot: count, sum, mean, max and pXX in **ms**."""
+        with self._lock:
+            count, total, peak = self._count, self._sum, self._max
+        out: Dict[str, float] = {
+            "count": count,
+            "sum_ms": round(total * 1000, 3),
+            "mean_ms": round(total / count * 1000, 3) if count else 0.0,
+            "max_ms": round(peak * 1000, 3),
+        }
+        for q in quantiles:
+            value = self.quantile(q)
+            out[f"p{int(q * 100)}_ms"] = round(value * 1000, 3) if value else 0.0
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._buckets = [0] * _NUM_BUCKETS
+            self._count = 0
+            self._sum = 0.0
+            self._max = 0.0
+
+
+class LatencyBoard:
+    """A named family of :class:`LatencyHistogram` (total / queue / execute)."""
+
+    def __init__(self, names: Sequence[str] = ("total", "queue_wait", "execute")):
+        self._hists: Dict[str, LatencyHistogram] = {
+            name: LatencyHistogram() for name in names
+        }
+
+    def __getitem__(self, name: str) -> LatencyHistogram:
+        return self._hists[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._hists)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {name: hist.summary() for name, hist in sorted(self._hists.items())}
+
+    def reset(self) -> None:
+        for hist in self._hists.values():
+            hist.reset()

@@ -1,0 +1,544 @@
+"""Asyncio HTTP diagnosis server: batching, admission control, drain.
+
+Zero dependencies beyond the stdlib: the HTTP/1.1 layer is a small
+hand-rolled parser over ``asyncio`` streams (no ``http.server``, which is
+thread-per-connection and has no backpressure story).  The event loop only
+parses, routes and queues; all diagnosis work runs in a thread-pool
+executor so a long batch never stalls accepts, health checks or metric
+scrapes.
+
+Request lifecycle (see docs/architecture.md, "Serving")::
+
+    accept -> parse -> admission (queue bound) -> BatchQueue
+           -> dispatcher coalesces same-workload requests
+           -> DiagnosisEngine.execute_batch (executor thread, parallel_map)
+           -> per-request futures resolve -> HTTP responses
+
+Endpoints:
+
+* ``POST /diagnose`` — one diagnosis request (protocol.py), JSON in/out.
+* ``GET /healthz``   — liveness/readiness: 200 ``ok`` or 503 ``draining``.
+* ``GET /metrics``   — JSON snapshot: queue depth, batch sizes,
+  p50/p95/p99 latency, per-code request counts, cache footprint, plus the
+  full :data:`repro.telemetry.METRICS` registry.
+
+Knobs (constructor arguments; the CLI maps env vars onto them):
+``REPRO_SERVE_PORT``, ``REPRO_BATCH_MAX``, ``REPRO_BATCH_WAIT_MS``,
+``REPRO_QUEUE_DEPTH``.
+
+Shutdown: SIGTERM/SIGINT stop the listener, flip ``/healthz`` to
+``draining`` (new diagnoses get 503 ``shutting_down``), let queued and
+in-flight batches finish (bounded by ``drain_grace_s``), then exit 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..experiments import cache
+from ..telemetry import METRICS, log
+from .batching import BatchQueue, PendingRequest
+from .engine import DiagnosisEngine
+from .latency import LatencyBoard
+from .protocol import DiagnoseReply, DiagnoseRequest, ServiceError
+
+DEFAULT_PORT = 8953
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    return int(raw) if raw else default
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    return float(raw) if raw else default
+
+
+class _BadHttp(Exception):
+    """Unparseable request framing — respond 400 and close."""
+
+
+class DiagnosisServer:
+    """The serving layer; one instance per process."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        engine: Optional[DiagnosisEngine] = None,
+        batch_max: Optional[int] = None,
+        batch_wait_ms: Optional[float] = None,
+        queue_depth: Optional[int] = None,
+        dispatchers: int = 1,
+        default_timeout_ms: Optional[float] = 30_000.0,
+        drain_grace_s: float = 10.0,
+    ):
+        self.host = host
+        self.port = DEFAULT_PORT if port is None else port
+        self.engine = engine or DiagnosisEngine()
+        self.batch_max = batch_max if batch_max is not None else _env_int(
+            "REPRO_BATCH_MAX", 32)
+        wait_ms = batch_wait_ms if batch_wait_ms is not None else _env_float(
+            "REPRO_BATCH_WAIT_MS", 5.0)
+        depth = queue_depth if queue_depth is not None else _env_int(
+            "REPRO_QUEUE_DEPTH", 256)
+        self.queue = BatchQueue(
+            max_depth=depth, batch_max=self.batch_max,
+            batch_wait_s=wait_ms / 1000.0,
+        )
+        self.dispatchers = max(1, dispatchers)
+        self.default_timeout_ms = default_timeout_ms
+        self.drain_grace_s = drain_grace_s
+        self.latency = LatencyBoard()
+        self.started_at = time.monotonic()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._dispatcher_tasks: List[asyncio.Task] = []
+        self._conn_tasks: "set[asyncio.Task]" = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.dispatchers, thread_name_prefix="repro-serve"
+        )
+        self._inflight = 0
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self._request_counts: Dict[str, int] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start serving (returns once the socket is listening)."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        for _ in range(self.dispatchers):
+            self._dispatcher_tasks.append(
+                asyncio.ensure_future(self._dispatch_loop())
+            )
+        log(f"service: listening on http://{self.host}:{self.port} "
+            f"(batch_max={self.batch_max}, "
+            f"wait={self.queue.batch_wait_s * 1000:.0f}ms, "
+            f"queue_depth={self.queue.max_depth})")
+
+    async def serve_forever(self) -> None:
+        await self._stopped.wait()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting, optionally drain, then tear everything down."""
+        if self._draining:
+            await self._stopped.wait()
+            return
+        self._draining = True
+        log("service: draining (no new requests admitted)")
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.queue.close()
+        if drain and self._dispatcher_tasks:
+            # Dispatchers exit once the closed queue is empty, so waiting on
+            # them drains every queued and in-flight batch.
+            _, pending = await asyncio.wait(
+                self._dispatcher_tasks, timeout=self.drain_grace_s
+            )
+            if pending:
+                log(f"service: drain grace expired with {len(pending)} "
+                    "dispatcher(s) still busy")
+        for task in self._dispatcher_tasks:
+            task.cancel()
+        await asyncio.gather(*self._dispatcher_tasks, return_exceptions=True)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+        self._stopped.set()
+        log("service: drained and stopped")
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- dispatcher ----------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_event_loop()
+        while True:
+            batch = await self.queue.next_batch()
+            if not batch:
+                return  # queue closed and empty
+            self._inflight += len(batch)
+            started = time.monotonic()
+            requests = [entry.request for entry in batch]
+            try:
+                results = await loop.run_in_executor(
+                    self._executor, self.engine.execute_batch, requests
+                )
+            except Exception as exc:  # noqa: BLE001 - request-level boundary
+                log(f"service: batch execution raised: {exc!r}")
+                results = [ServiceError("internal_error", f"batch failed: {exc}")
+                           for _ in batch]
+            finally:
+                self._inflight -= len(batch)
+            execute_s = time.monotonic() - started
+            self.queue.record_service_rate(execute_s / len(batch))
+            self.latency["execute"].observe(execute_s)
+            METRICS.incr("service.batches")
+            METRICS.observe("service.batch_size", len(batch))
+            METRICS.observe("service.batch_execute_s", execute_s)
+            for entry, result in zip(batch, results):
+                if entry.future.done():
+                    continue  # waiter timed out / disconnected meanwhile
+                queue_wait_s = started - entry.enqueued_at
+                self.latency["queue_wait"].observe(queue_wait_s)
+                if isinstance(result, ServiceError):
+                    entry.future.set_exception(result)
+                else:
+                    result.queue_wait_ms = queue_wait_s * 1000
+                    result.execute_ms = execute_s * 1000
+                    result.batch_size = len(batch)
+                    entry.future.set_result(result)
+
+    # -- connection handling -------------------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except _BadHttp as exc:
+                    error = ServiceError("malformed_payload", str(exc))
+                    await self._write_response(
+                        writer, error.status, error.to_payload(), close=True)
+                    break
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                if parsed is None:
+                    break  # clean EOF between requests
+                method, path, headers, body = parsed
+                status, payload, extra = await self._route(method, path, body)
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                await self._write_response(
+                    writer, status, payload, extra_headers=extra,
+                    close=not keep_alive)
+                if not keep_alive:
+                    break
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001 - already-gone peer
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+            raise _BadHttp("malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        total = len(request_line)
+        while True:
+            line = await reader.readline()
+            total += len(line)
+            if total > MAX_HEADER_BYTES:
+                raise _BadHttp("headers too large")
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise _BadHttp("truncated headers")
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _BadHttp("malformed header")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _BadHttp("bad Content-Length")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise _BadHttp("body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, target.split("?", 1)[0], headers, body
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any],
+        extra_headers: Optional[Dict[str, str]] = None, close: bool = False,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------------
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Optional[Dict[str, str]]]:
+        try:
+            if path == "/diagnose":
+                if method != "POST":
+                    raise ServiceError("method_not_allowed", "use POST /diagnose")
+                reply = await self._handle_diagnose(body)
+                self._count("ok")
+                return 200, reply.to_payload(), None
+            if path == "/healthz":
+                if method != "GET":
+                    raise ServiceError("method_not_allowed", "use GET /healthz")
+                payload = self._health_payload()
+                return (503 if self._draining else 200), payload, None
+            if path == "/metrics":
+                if method != "GET":
+                    raise ServiceError("method_not_allowed", "use GET /metrics")
+                return 200, self._metrics_payload(), None
+            raise ServiceError("no_such_route", f"no route for {path}")
+        except ServiceError as exc:
+            self._count(exc.code)
+            extra = None
+            if exc.retry_after_s is not None:
+                extra = {"Retry-After": str(max(1, int(round(exc.retry_after_s))))}
+            return exc.status, exc.to_payload(), extra
+        except Exception as exc:  # noqa: BLE001 - request-level boundary
+            log(f"service: handler crashed: {exc!r}")
+            self._count("internal_error")
+            error = ServiceError("internal_error", "unexpected server error")
+            return error.status, error.to_payload(), None
+
+    def _count(self, code: str) -> None:
+        self._request_counts[code] = self._request_counts.get(code, 0) + 1
+        METRICS.incr("service.requests", labels={"code": code})
+
+    async def _handle_diagnose(self, body: bytes) -> DiagnoseReply:
+        arrived = time.monotonic()
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ServiceError("malformed_payload", "request body is not valid JSON")
+        request = DiagnoseRequest.from_payload(payload)
+        if self._draining:
+            raise ServiceError("shutting_down", "server is draining")
+        timeout_ms = request.timeout_ms or self.default_timeout_ms
+        deadline = arrived + timeout_ms / 1000.0 if timeout_ms else None
+        entry = PendingRequest(
+            request=request,
+            future=asyncio.get_event_loop().create_future(),
+            enqueued_at=arrived,
+            deadline=deadline,
+        )
+        self.queue.offer(entry)  # raises queue_full / shutting_down
+        await self.queue.announce()
+        try:
+            if deadline is not None:
+                reply = await asyncio.wait_for(
+                    entry.future, timeout=deadline - time.monotonic())
+            else:
+                reply = await entry.future
+        except asyncio.TimeoutError:
+            METRICS.incr("service.timeouts")
+            raise ServiceError("deadline_exceeded",
+                              f"request exceeded {timeout_ms:.0f} ms")
+        finally:
+            self.latency["total"].observe(time.monotonic() - arrived)
+            METRICS.observe("service.latency_s", time.monotonic() - arrived)
+        return reply
+
+    # -- introspection -------------------------------------------------------
+
+    def _health_payload(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "queue_depth": self.queue.depth,
+            "inflight": self._inflight,
+            "degraded": self.engine.degraded,
+        }
+
+    def _metrics_payload(self) -> Dict[str, Any]:
+        cache_stats = cache.stats()
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "queue": {
+                "depth": self.queue.depth,
+                "max_depth": self.queue.max_depth,
+                "inflight": self._inflight,
+            },
+            "batching": {
+                "batch_max": self.batch_max,
+                "batch_wait_ms": self.queue.batch_wait_s * 1000,
+                "batches": int(METRICS.counter("service.batches")),
+                "batch_size": (METRICS.snapshot()["histograms"]
+                               .get("service.batch_size")),
+            },
+            "latency": self.latency.summary(),
+            "requests": dict(sorted(self._request_counts.items())),
+            "rejected": int(METRICS.counter("service.rejected")),
+            "timeouts": int(METRICS.counter("service.timeouts")),
+            "degraded": self.engine.degraded,
+            "cache": {
+                "entries": cache_stats.entries,
+                "bytes": cache_stats.bytes,
+                "evictions": cache_stats.evictions,
+            },
+            "registry": METRICS.snapshot(),
+        }
+
+
+class ThreadedServer:
+    """Run a :class:`DiagnosisServer` on a background thread (tests, embedding).
+
+    The server gets its own event loop; :meth:`start` blocks until the
+    socket is listening and returns the bound port (pass ``port=0`` for an
+    ephemeral one).  :meth:`stop` drains and joins.
+    """
+
+    def __init__(self, **kwargs: Any):
+        self._kwargs = kwargs
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self.server: Optional[DiagnosisServer] = None
+
+    def start(self, timeout: float = 30.0) -> int:
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve-thread")
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("service thread failed to start in time")
+        if self._error is not None:
+            raise RuntimeError(f"service failed to start: {self._error!r}")
+        assert self.server is not None
+        return self.server.port
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self.server = DiagnosisServer(**self._kwargs)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+            self._error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_until_complete(self.server.serve_forever())
+        finally:
+            self._loop.close()
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        if self._loop is None or self.server is None or not self._thread:
+            return
+        if not self._loop.is_closed():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.shutdown(drain=drain), self._loop)
+            try:
+                future.result(timeout)
+            except Exception:  # noqa: BLE001 - loop may already be gone
+                pass
+        self._thread.join(timeout)
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    engine = DiagnosisEngine(
+        workers=args.workers,
+        max_cache_bytes=args.max_cache_bytes,
+    )
+    server = DiagnosisServer(
+        host=args.host,
+        port=args.port,
+        engine=engine,
+        batch_max=args.batch_max,
+        batch_wait_ms=args.batch_wait_ms,
+        queue_depth=args.queue_depth,
+        dispatchers=args.dispatchers,
+        drain_grace_s=args.drain_grace_s,
+    )
+    loop = asyncio.get_event_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(
+            signum, lambda: asyncio.ensure_future(server.shutdown(drain=True))
+        )
+    await server.start()
+    print(f"serving on http://{server.host}:{server.port}", file=sys.stderr,
+          flush=True)
+    for circuit in args.prewarm or []:
+        request = DiagnoseRequest.from_payload(
+            {"circuit": circuit, "fault_index": 0})
+        await loop.run_in_executor(None, engine.prewarm, request)
+        log(f"service: prewarmed {circuit}")
+    await server.serve_forever()
+    return 0
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro serve`` / ``repro-serve``."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Long-lived batching diagnosis server "
+        "(POST /diagnose, GET /healthz, GET /metrics).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int,
+                        default=_env_int("REPRO_SERVE_PORT", DEFAULT_PORT),
+                        help="0 = ephemeral (default REPRO_SERVE_PORT or "
+                        f"{DEFAULT_PORT})")
+    parser.add_argument("--batch-max", type=int, default=None,
+                        help="max requests coalesced per batch "
+                        "(default REPRO_BATCH_MAX or 32)")
+    parser.add_argument("--batch-wait-ms", type=float, default=None,
+                        help="max time a batch is held open for coalescing "
+                        "(default REPRO_BATCH_WAIT_MS or 5)")
+    parser.add_argument("--queue-depth", type=int, default=None,
+                        help="admission-control bound on queued requests "
+                        "(default REPRO_QUEUE_DEPTH or 256)")
+    parser.add_argument("--dispatchers", type=int, default=1,
+                        help="concurrent batch executors (default 1)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="fork-pool size per batch (default REPRO_WORKERS)")
+    parser.add_argument("--max-cache-bytes", type=int, default=None,
+                        help="LRU budget for resident compiled workloads")
+    parser.add_argument("--drain-grace-s", type=float, default=10.0,
+                        help="max seconds to drain on SIGTERM (default 10)")
+    parser.add_argument("--prewarm", action="append", metavar="CIRCUIT",
+                        help="compile this circuit's default workload at "
+                        "startup (repeatable)")
+    args = parser.parse_args(argv)
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        return 0

@@ -37,6 +37,10 @@ ENV_KNOBS = (
     "REPRO_FAULTS",
     "REPRO_FAULTS_LARGE",
     "REPRO_SCALE",
+    "REPRO_SERVE_PORT",
+    "REPRO_BATCH_MAX",
+    "REPRO_BATCH_WAIT_MS",
+    "REPRO_QUEUE_DEPTH",
 )
 
 MANIFEST_SCHEMA_NAME = "repro-run-manifest"

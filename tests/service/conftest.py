@@ -1,0 +1,38 @@
+"""Service-test fixtures: a tiny shared workload spec and live servers.
+
+All service tests use the same small s953 workload (32 patterns, 6
+faults) so the process-wide cache compiles it once for the whole suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.protocol import DiagnoseRequest
+from repro.service.server import ThreadedServer
+
+#: The canonical tiny request knobs every service test shares.
+SMALL = dict(circuit="s953", num_patterns=32, fault_count=6)
+
+
+def small_request(fault_index=0, **overrides):
+    payload = dict(SMALL, fault_index=fault_index)
+    payload.update(overrides)
+    return DiagnoseRequest.from_payload(payload)
+
+
+@pytest.fixture
+def live_server():
+    """A running ThreadedServer on an ephemeral port; stops on teardown."""
+    started = []
+
+    def _start(**kwargs):
+        kwargs.setdefault("port", 0)
+        server = ThreadedServer(**kwargs)
+        port = server.start()
+        started.append(server)
+        return server, port
+
+    yield _start
+    for server in started:
+        server.stop(drain=False)

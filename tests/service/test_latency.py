@@ -1,0 +1,57 @@
+"""Log-bucket latency histogram: quantiles within bucket resolution."""
+
+from repro.service.latency import LatencyBoard, LatencyHistogram
+
+
+class TestLatencyHistogram:
+    def test_empty_quantile_is_none(self):
+        hist = LatencyHistogram()
+        assert hist.quantile(0.5) is None
+        assert hist.summary()["count"] == 0
+
+    def test_single_observation(self):
+        hist = LatencyHistogram()
+        hist.observe(0.010)
+        # One sample: every quantile is that sample (within bucket width).
+        for q in (0.5, 0.95, 0.99):
+            assert abs(hist.quantile(q) - 0.010) / 0.010 < 0.10
+
+    def test_quantiles_track_distribution(self):
+        hist = LatencyHistogram()
+        for ms in range(1, 101):  # 1..100 ms uniform
+            hist.observe(ms / 1000.0)
+        p50, p99 = hist.quantile(0.50), hist.quantile(0.99)
+        assert 0.040 <= p50 <= 0.060
+        assert 0.090 <= p99 <= 0.110
+        assert p50 <= hist.quantile(0.95) <= p99
+
+    def test_quantile_never_exceeds_max(self):
+        hist = LatencyHistogram()
+        hist.observe(0.005)
+        hist.observe(0.005)
+        assert hist.quantile(1.0) <= 0.005 * 1.0001
+
+    def test_summary_units_are_ms(self):
+        hist = LatencyHistogram()
+        hist.observe(0.250)
+        summary = hist.summary()
+        assert summary["count"] == 1
+        assert 240 <= summary["p50_ms"] <= 275
+        assert summary["max_ms"] == 250.0
+
+    def test_reset(self):
+        hist = LatencyHistogram()
+        hist.observe(1.0)
+        hist.reset()
+        assert hist.count == 0
+        assert hist.quantile(0.5) is None
+
+
+class TestLatencyBoard:
+    def test_named_families(self):
+        board = LatencyBoard()
+        board["total"].observe(0.1)
+        summary = board.summary()
+        assert set(summary) == {"total", "queue_wait", "execute"}
+        assert summary["total"]["count"] == 1
+        assert summary["execute"]["count"] == 0

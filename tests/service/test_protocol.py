@@ -1,0 +1,126 @@
+"""Wire-format validation and the stable error taxonomy."""
+
+import pytest
+
+from repro.service.protocol import (
+    ERROR_STATUS,
+    DiagnoseReply,
+    DiagnoseRequest,
+    ServiceError,
+)
+
+
+class TestErrorTaxonomy:
+    def test_codes_map_to_http_statuses(self):
+        assert ERROR_STATUS["queue_full"] == 429
+        assert ERROR_STATUS["deadline_exceeded"] == 504
+        assert ERROR_STATUS["shutting_down"] == 503
+        assert ERROR_STATUS["circuit_not_found"] == 404
+        assert ERROR_STATUS["malformed_payload"] == 400
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceError("not_a_code", "boom")
+
+    def test_retry_after_round_trips(self):
+        err = ServiceError("queue_full", "full", retry_after_s=2.5)
+        assert err.to_payload()["error"]["retry_after_s"] == 2.5
+        assert err.status == 429
+
+
+class TestRequestValidation:
+    def test_minimal_fault_index_request(self):
+        req = DiagnoseRequest.from_payload({"circuit": "s953", "fault_index": 3})
+        assert req.circuit == "s953"
+        assert req.fault_index == 3
+        assert req.scheme == "two-step"
+
+    def test_missing_circuit_is_malformed(self):
+        with pytest.raises(ServiceError) as exc:
+            DiagnoseRequest.from_payload({"fault_index": 0})
+        assert exc.value.code == "malformed_payload"
+
+    def test_non_object_body_is_malformed(self):
+        with pytest.raises(ServiceError) as exc:
+            DiagnoseRequest.from_payload([1, 2, 3])
+        assert exc.value.code == "malformed_payload"
+
+    def test_unknown_scheme_is_invalid_argument(self):
+        with pytest.raises(ServiceError) as exc:
+            DiagnoseRequest.from_payload(
+                {"circuit": "s953", "fault_index": 0, "scheme": "magic"})
+        assert exc.value.code == "invalid_argument"
+
+    def test_both_modes_rejected(self):
+        with pytest.raises(ServiceError) as exc:
+            DiagnoseRequest.from_payload(
+                {"circuit": "s953", "fault_index": 0,
+                 "cell_errors": {"1": [0]}})
+        assert exc.value.code == "malformed_payload"
+
+    def test_neither_mode_rejected(self):
+        with pytest.raises(ServiceError):
+            DiagnoseRequest.from_payload({"circuit": "s953"})
+
+    def test_negative_knob_rejected(self):
+        with pytest.raises(ServiceError) as exc:
+            DiagnoseRequest.from_payload(
+                {"circuit": "s953", "fault_index": 0, "num_partitions": 0})
+        assert exc.value.code == "invalid_argument"
+
+    def test_cell_errors_validation(self):
+        req = DiagnoseRequest.from_payload({
+            "circuit": "s953", "num_patterns": 16,
+            "cell_errors": {"4": [3, 1, 3], "2": [0]},
+        })
+        # Packed form is sorted and deduplicated -> canonical identity.
+        assert req.cell_errors == ((2, (0,)), (4, (1, 3)))
+
+    def test_cell_errors_pattern_out_of_range(self):
+        with pytest.raises(ServiceError) as exc:
+            DiagnoseRequest.from_payload({
+                "circuit": "s953", "num_patterns": 8,
+                "cell_errors": {"0": [9]},
+            })
+        assert exc.value.code == "invalid_argument"
+
+    def test_cell_errors_non_integer_key(self):
+        with pytest.raises(ServiceError) as exc:
+            DiagnoseRequest.from_payload({
+                "circuit": "s953", "cell_errors": {"x": [0]}})
+        assert exc.value.code == "malformed_payload"
+
+
+class TestWorkloadKey:
+    def test_same_knobs_same_key(self):
+        a = DiagnoseRequest.from_payload({"circuit": "s953", "fault_index": 0})
+        b = DiagnoseRequest.from_payload({"circuit": "s953", "fault_index": 5})
+        assert a.workload_key == b.workload_key
+
+    def test_scheme_changes_key(self):
+        a = DiagnoseRequest.from_payload({"circuit": "s953", "fault_index": 0})
+        b = DiagnoseRequest.from_payload(
+            {"circuit": "s953", "fault_index": 0, "scheme": "random"})
+        assert a.workload_key != b.workload_key
+
+
+class TestRoundTrip:
+    def test_request_payload_round_trip(self):
+        req = DiagnoseRequest.from_payload({
+            "circuit": "s1423", "scheme": "random", "fault_index": 7,
+            "num_patterns": 64, "timeout_ms": 250, "request_id": "r-7",
+        })
+        again = DiagnoseRequest.from_payload(req.to_payload())
+        assert again == req
+
+    def test_reply_payload_round_trip(self):
+        reply = DiagnoseReply(
+            request_id="r", circuit="s953", scheme="two-step",
+            candidate_cells=[3, 5], actual_cells=[3], sound=True,
+            num_sessions=48, candidate_history=[9, 5, 2],
+            queue_wait_ms=1.5, execute_ms=4.0, batch_size=8,
+        )
+        again = DiagnoseReply.from_payload(reply.to_payload())
+        assert again.candidate_cells == [3, 5]
+        assert again.batch_size == 8
+        assert again.sound

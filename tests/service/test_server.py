@@ -1,0 +1,180 @@
+"""End-to-end HTTP tests against a live threaded server."""
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.service.client import ServiceClient, TransportError
+from repro.service.engine import DiagnosisEngine
+from repro.service.protocol import DiagnoseRequest, ServiceError
+
+from .conftest import SMALL
+
+
+def small_payload(fault_index=0, **overrides):
+    payload = dict(SMALL, fault_index=fault_index)
+    payload.update(overrides)
+    return payload
+
+
+class SlowEngine(DiagnosisEngine):
+    """Holds every batch for a fixed time — lets tests fill the queue."""
+
+    def __init__(self, delay_s: float):
+        super().__init__(workers=0)
+        self.delay_s = delay_s
+
+    def execute_batch(self, requests):
+        time.sleep(self.delay_s)
+        return super().execute_batch(requests)
+
+
+class TestHappyPath:
+    def test_health_diagnose_metrics(self, live_server):
+        _, port = live_server(batch_wait_ms=1)
+        with ServiceClient(port=port) as client:
+            client.wait_ready()
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["queue_depth"] == 0
+
+            reply = client.diagnose(small_payload(0))
+            assert reply.candidate_cells
+            assert reply.batch_size >= 1
+
+            metrics = client.metrics()
+            assert metrics["queue"]["max_depth"] > 0
+            assert metrics["batching"]["batches"] >= 1
+            assert metrics["latency"]["total"]["count"] >= 1
+            assert metrics["latency"]["total"]["p99_ms"] > 0
+            assert metrics["requests"].get("ok", 0) >= 1
+            assert metrics["cache"]["entries"] >= 1
+            assert metrics["cache"]["bytes"] > 0
+            # The full telemetry registry rides along for scrapers.
+            assert "service.batch_size" in metrics["registry"]["histograms"]
+
+    def test_keep_alive_serves_many_requests(self, live_server):
+        _, port = live_server(batch_wait_ms=1)
+        with ServiceClient(port=port) as client:
+            client.wait_ready()
+            replies = [client.diagnose(small_payload(i % 3)) for i in range(6)]
+        assert all(r.candidate_cells for r in replies)
+
+
+class TestErrorTaxonomyOverHttp:
+    def test_unknown_circuit_404(self, live_server):
+        _, port = live_server()
+        with ServiceClient(port=port) as client:
+            client.wait_ready()
+            with pytest.raises(ServiceError) as exc:
+                client.diagnose({"circuit": "nope", "fault_index": 0})
+            assert exc.value.code == "circuit_not_found"
+            assert exc.value.status == 404
+
+    def test_malformed_json_400(self, live_server):
+        _, port = live_server()
+        ServiceClient(port=port).wait_ready()
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        conn.request("POST", "/diagnose", body=b"{not json",
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        conn.close()
+        assert response.status == 400
+        assert payload["error"]["code"] == "malformed_payload"
+
+    def test_unknown_route_404_and_wrong_method_405(self, live_server):
+        _, port = live_server()
+        ServiceClient(port=port).wait_ready()
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        conn.request("GET", "/nope")
+        response = conn.getresponse()
+        assert response.status == 404
+        assert json.loads(response.read())["error"]["code"] == "no_such_route"
+        conn.request("GET", "/diagnose")
+        response = conn.getresponse()
+        assert response.status == 405
+        conn.close()
+
+
+class TestAdmissionControl:
+    def test_queue_full_gets_429_with_retry_after(self, live_server):
+        import threading
+
+        _, port = live_server(
+            engine=SlowEngine(0.6), queue_depth=1, batch_max=1,
+            batch_wait_ms=0)
+        ServiceClient(port=port).wait_ready()
+        results = {}
+
+        def fire(name, delay):
+            time.sleep(delay)
+            with ServiceClient(port=port, timeout_s=30) as client:
+                try:
+                    results[name] = client.diagnose(small_payload(0))
+                except ServiceError as exc:
+                    results[name] = exc
+
+        threads = [
+            threading.Thread(target=fire, args=(name, delay))
+            for name, delay in (("a", 0.0), ("b", 0.15), ("c", 0.3))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # a executes (0.6s), b waits in the depth-1 queue, c is rejected.
+        codes = sorted(
+            r.code for r in results.values() if isinstance(r, ServiceError))
+        assert codes == ["queue_full"]
+        rejected = next(r for r in results.values()
+                        if isinstance(r, ServiceError))
+        assert rejected.retry_after_s is not None
+
+    def test_deadline_exceeded_504(self, live_server):
+        _, port = live_server(engine=SlowEngine(0.8), batch_wait_ms=0)
+        with ServiceClient(port=port) as client:
+            client.wait_ready()
+            with pytest.raises(ServiceError) as exc:
+                client.diagnose(small_payload(0, timeout_ms=100))
+            assert exc.value.code == "deadline_exceeded"
+            assert exc.value.status == 504
+            metrics = client.metrics()
+            assert metrics["timeouts"] >= 1
+
+
+class TestBatchingOverHttp:
+    def test_concurrent_same_workload_requests_coalesce(self, live_server):
+        import threading
+
+        _, port = live_server(batch_wait_ms=150, batch_max=16)
+        ServiceClient(port=port).wait_ready()
+        # Warm the workload so the batch window dominates, not compile time.
+        with ServiceClient(port=port) as warm:
+            warm.diagnose(small_payload(0))
+        replies = {}
+
+        def fire(i):
+            with ServiceClient(port=port, timeout_s=30) as client:
+                replies[i] = client.diagnose(small_payload(i))
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # At least one multi-request batch formed inside the 150 ms window.
+        assert max(r.batch_size for r in replies.values()) >= 2
+
+
+class TestGracefulShutdown:
+    def test_drain_serves_queued_work_then_refuses(self, live_server):
+        server, port = live_server(batch_wait_ms=1)
+        with ServiceClient(port=port) as client:
+            client.wait_ready()
+            assert client.diagnose(small_payload(0)).candidate_cells
+        server.stop(drain=True)
+        with pytest.raises(TransportError):
+            ServiceClient(port=port, timeout_s=2).health()

@@ -71,3 +71,56 @@ class TestMain:
 
     def test_dispatch_diagnose(self, capsys):
         assert main(["diagnose", "s953", "--faults", "2"]) == 0
+
+
+class TestStatsRobustness:
+    """`repro stats` must give a clear error, never a traceback, on the
+    debris a crashed traced run leaves behind."""
+
+    def test_missing_file(self, capsys, tmp_path):
+        from repro.cli import stats_main
+
+        assert stats_main([str(tmp_path / "gone.json")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_empty_manifest(self, capsys, tmp_path):
+        from repro.cli import stats_main
+
+        empty = tmp_path / "manifest.json"
+        empty.write_text("")
+        assert stats_main([str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "empty" in err
+
+    def test_truncated_manifest(self, capsys, tmp_path):
+        from repro.cli import stats_main
+
+        truncated = tmp_path / "manifest.json"
+        truncated.write_text('{"schema": "repro-run-manifest", "metri')
+        assert stats_main([str(truncated)]) == 2
+        err = capsys.readouterr().err
+        assert "truncated" in err
+
+    def test_manifest_holding_wrong_type(self, capsys, tmp_path):
+        from repro.cli import stats_main
+
+        wrong = tmp_path / "manifest.json"
+        wrong.write_text("[1, 2, 3]")
+        assert stats_main([str(wrong)]) == 2
+        assert "manifest object" in capsys.readouterr().err
+
+    def test_truncated_trace_jsonl(self, capsys, tmp_path):
+        from repro.cli import stats_main
+
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text('{"name": "diagnose", "t0": 0.0, "t1"')
+        assert stats_main([str(trace)]) == 2
+        assert "span log" in capsys.readouterr().err
+
+    def test_empty_trace_jsonl(self, capsys, tmp_path):
+        from repro.cli import stats_main
+
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text("")
+        assert stats_main([str(trace)]) == 2
+        assert "empty" in capsys.readouterr().err
