@@ -1,6 +1,6 @@
 #!/usr/bin/env python
 """Performance-trajectory harness: times the pipeline's hot stages and
-writes a machine-readable ``BENCH_PR2.json`` so future PRs can track the
+writes a machine-readable ``BENCH_PR4.json`` so future PRs can track the
 perf trajectory.
 
 Stages, per benchmark circuit:
@@ -8,8 +8,19 @@ Stages, per benchmark circuit:
 * ``workload_build_cold_s`` — circuit generation + compile + golden sim +
   fault sampling, empty cache.
 * ``workload_build_warm_s`` — same call with the process-wide cache warm.
-* ``fault_sim_s`` / ``faults_per_sec`` — raw fault-simulation throughput
-  over a fixed fault sample.
+* ``workload_build_disk_warm_s`` — same call with the memory cache empty
+  but the persistent disk tier (``REPRO_DISK_CACHE``) populated.
+* ``fault_sim_event_s`` — event-driven fault simulation
+  (``REPRO_FAULT_BATCH=0``), the PR 1-3 kernel.
+* ``fault_sim_batch_s`` — the fault-batched cone kernel (PR 4).
+  ``fault_batch_speedup`` is the ratio; ``fault_sim_s`` keeps tracking the
+  *default* path so the trajectory key stays comparable across PRs.
+* ``transport_bytes_packed`` vs ``transport_bytes_legacy_pickle`` — bytes
+  the fork pool ships per fault-sim pass with the packed codec, against
+  what pickling the same responses the pre-PR 4 way would have cost.
+* ``serve_coldstart_cold_s`` / ``serve_coldstart_disk_warm_s`` — time for
+  a fresh :class:`DiagnosisEngine` to resolve its first request, cold vs
+  warm-from-disk.
 * ``evaluate_warm_s`` — end-to-end scheme evaluation (workload build +
   diagnose, cache warm) with the vectorized kernels.
 * ``seed_evaluate_s`` — the same evaluation through the *seed* code path:
@@ -22,20 +33,32 @@ path).  A separate traced pass afterwards collects the span rollup and
 metric totals that are embedded under ``"telemetry"`` — so the report
 carries both the wall-clock trajectory and where the time went.
 
-The previous trajectory file (``--prev``, default ``BENCH_PR1.json``) is
-optional: when present, per-circuit wall-clock and per-stage telemetry
-deltas are recorded under ``"deltas_vs_prev"``; when absent the report
-simply omits them.
+The previous trajectory file (``--prev``, default ``BENCH_PR1.json`` — the
+last PR whose report predates the batched kernel) is optional: when
+present, per-circuit wall-clock and per-stage telemetry deltas are
+recorded under ``"deltas_vs_prev"``; when absent the report simply omits
+them.
+
+``--check BENCH_PR4.json`` turns the harness into a CI gate: after the
+run it compares this machine's ``fault_batch_speedup`` per circuit against
+the committed report and exits 1 if any circuit regressed by more than
+``--tolerance`` (default 0.25).  Speedups are machine-relative ratios, so
+the gate is robust to absolute-speed differences between CI runners and
+the machine that produced the committed report.
 
 Run:  PYTHONPATH=src python scripts/bench.py [--circuits s953 s5378]
-      [--faults N] [--partitions N] [--out BENCH_PR2.json]
-      [--prev BENCH_PR1.json]
+      [--faults N] [--partitions N] [--out BENCH_PR4.json]
+      [--prev BENCH_PR1.json] [--quick]
+      [--check BENCH_PR4.json --tolerance 0.25]
 """
 
 import argparse
 import json
+import os
+import pickle
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -57,10 +80,10 @@ from repro.sim.bitops import WORD_BITS
 from repro.sim.faults import collapse_faults
 from repro.sim.faultsim import FaultSimulator
 from repro.soc.core_wrapper import EmbeddedCore
-from repro.telemetry import log
+from repro.telemetry import METRICS, log
 
 NUM_GROUPS = 4
-PR_NUMBER = 2
+PR_NUMBER = 4
 
 
 def seed_collect_events(response, scan_config):
@@ -130,7 +153,7 @@ def best_of(repeats, fn):
     return best, result
 
 
-def bench_circuit(name, config, num_partitions):
+def bench_circuit(name, config, num_partitions, repeats=3, fault_cap=400):
     timings = {"circuit": name}
 
     clear_caches()
@@ -139,17 +162,45 @@ def bench_circuit(name, config, num_partitions):
     timings["workload_build_cold_s"] = time.perf_counter() - t0
 
     timings["workload_build_warm_s"], _ = best_of(
-        3, lambda: build_circuit_workload(name, config)
+        repeats, lambda: build_circuit_workload(name, config)
     )
 
     core = EmbeddedCore(_netlist(name, config), num_patterns=config.num_patterns)
     faults = collapse_faults(core.netlist)
-    sample = faults[: min(len(faults), 400)]
+    sample = faults[: min(len(faults), fault_cap)]
     sim = FaultSimulator(core.compiled, core._good)
-    fault_sim_s, _ = best_of(3, lambda: sim.simulate_faults(sample))
-    timings["fault_sim_s"] = fault_sim_s
+
+    # Event-driven oracle vs the fault-batched cone kernel, both serial so
+    # the ratio isolates the kernel (not the pool).  ``fault_sim_s`` keeps
+    # naming the *default* path so the cross-PR trajectory key stays
+    # meaningful.
+    event_s, event_responses = best_of(
+        repeats, lambda: sim.simulate_faults(sample, workers=0, batch=0)
+    )
+    batch_s, batch_responses = best_of(
+        repeats, lambda: sim.simulate_faults(sample, workers=0)
+    )
+    for a, b in zip(event_responses, batch_responses):
+        assert a.cell_errors.keys() == b.cell_errors.keys(), (
+            f"batched kernel drift on {name}: {a.fault}"
+        )
+    timings["fault_sim_event_s"] = event_s
+    timings["fault_sim_batch_s"] = batch_s
+    timings["fault_sim_s"] = batch_s
+    timings["fault_batch_speedup"] = event_s / batch_s if batch_s else None
     timings["num_faults_simulated"] = len(sample)
-    timings["faults_per_sec"] = len(sample) / fault_sim_s if fault_sim_s else None
+    timings["faults_per_sec"] = len(sample) / batch_s if batch_s else None
+
+    # Transport bytes across the fork pool: the packed codec's actual
+    # shipped payload vs what pickling the same responses per-chunk (the
+    # pre-PR 4 wire format) would have cost.
+    before = METRICS.snapshot()
+    sim.simulate_faults(sample, workers=2)
+    shipped = METRICS.diff(before)["counters"].get("pool.transport_bytes", 0)
+    timings["transport_bytes_packed"] = int(shipped)
+    timings["transport_bytes_legacy_pickle"] = len(
+        pickle.dumps(event_responses, protocol=5)
+    )
 
     # End-to-end scheme evaluation, cache warm, vectorized kernels.  One
     # untimed call warms the shared stores (compactor impulse tables,
@@ -196,6 +247,104 @@ def _netlist(name, config):
     from repro.circuit.library import get_circuit
 
     return get_circuit(name, scale=config.scale)
+
+
+def bench_disk_cache(name, config, num_partitions):
+    """Persistent-cache stages, run inside a throwaway ``REPRO_DISK_CACHE``.
+
+    Measures the workload rebuild with only the disk tier warm, plus the
+    first-request latency of a fresh :class:`DiagnosisEngine` cold vs
+    warm-from-disk — the ``repro serve`` cold-start the disk tier exists
+    to kill.
+    """
+    from repro.service.engine import DiagnosisEngine
+    from repro.service.protocol import DiagnoseRequest
+
+    timings = {}
+    request = DiagnoseRequest(
+        circuit=name,
+        num_partitions=num_partitions,
+        num_groups=NUM_GROUPS,
+        num_patterns=config.num_patterns,
+        fault_count=config.num_faults,
+        fault_index=0,
+    )
+    saved = os.environ.get("REPRO_DISK_CACHE")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        os.environ["REPRO_DISK_CACHE"] = tmp
+        try:
+            # Cold serve: empty memory + empty disk; this pass also
+            # populates the disk tier for the warm passes below.
+            clear_caches()
+            t0 = time.perf_counter()
+            DiagnosisEngine(workers=0).prewarm(request)
+            timings["serve_coldstart_cold_s"] = time.perf_counter() - t0
+
+            clear_caches()
+            engine = DiagnosisEngine(workers=0)
+            t0 = time.perf_counter()
+            engine.warm_from_disk()
+            engine.prewarm(request)
+            timings["serve_coldstart_disk_warm_s"] = time.perf_counter() - t0
+
+            # Workload rebuild served straight off the disk tier.
+            clear_caches()
+            build_circuit_workload(name, config)  # populate disk entry
+            clear_caches()
+            t0 = time.perf_counter()
+            build_circuit_workload(name, config)
+            timings["workload_build_disk_warm_s"] = time.perf_counter() - t0
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_DISK_CACHE", None)
+            else:
+                os.environ["REPRO_DISK_CACHE"] = saved
+            clear_caches()
+    timings["serve_disk_warm_speedup"] = (
+        timings["serve_coldstart_cold_s"] / timings["serve_coldstart_disk_warm_s"]
+        if timings["serve_coldstart_disk_warm_s"]
+        else None
+    )
+    return timings
+
+
+def check_against(report, committed, tolerance):
+    """CI gate: fail when ``fault_batch_speedup`` regressed vs the
+    committed report by more than ``tolerance`` on any circuit.
+
+    Compares machine-relative ratios, never absolute wall clocks, so a
+    slower CI runner alone cannot trip the gate.
+    """
+    if committed is None:
+        print("check: no committed report; skipping gate")
+        return 0
+    baseline = {
+        c["circuit"]: c.get("fault_batch_speedup")
+        for c in committed.get("circuits", [])
+    }
+    failures = []
+    for timing in report["circuits"]:
+        expected = baseline.get(timing["circuit"])
+        got = timing.get("fault_batch_speedup")
+        if not expected or not got:
+            continue
+        floor = expected * (1.0 - tolerance)
+        status = "ok" if got >= floor else "REGRESSED"
+        print(
+            f"check: {timing['circuit']} fault_batch_speedup "
+            f"{got:.2f}x vs committed {expected:.2f}x "
+            f"(floor {floor:.2f}x) {status}"
+        )
+        if got < floor:
+            failures.append(timing["circuit"])
+    if failures:
+        print(
+            f"check: FAIL — fault-sim speedup regressed beyond "
+            f"{tolerance:.0%} on: {', '.join(failures)}"
+        )
+        return 1
+    print("check: PASS")
+    return 0
 
 
 def traced_rollup(circuits, config, num_partitions):
@@ -245,7 +394,7 @@ def deltas_vs_prev(report, prev):
         if not before:
             continue
         per = {}
-        for key in ("workload_build_cold_s", "evaluate_warm_s",
+        for key in ("workload_build_cold_s", "fault_sim_s", "evaluate_warm_s",
                     "end_to_end_warm_s", "seed_evaluate_s"):
             now, old = timing.get(key), before.get(key)
             if now is not None and old:
@@ -266,15 +415,35 @@ def deltas_vs_prev(report, prev):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--circuits", nargs="+", default=["s953", "s5378"])
-    parser.add_argument("--faults", type=int, default=60)
+    parser.add_argument("--circuits", nargs="+", default=None)
+    parser.add_argument("--faults", type=int, default=None)
     parser.add_argument("--patterns", type=int, default=128)
     parser.add_argument("--partitions", type=int, default=8)
     parser.add_argument("--out", default=f"BENCH_PR{PR_NUMBER}.json")
-    parser.add_argument("--prev", default=f"BENCH_PR{PR_NUMBER - 1}.json",
+    parser.add_argument("--prev", default="BENCH_PR1.json",
                         help="previous trajectory file for deltas "
                         "(missing is fine)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run: one circuit, fewer faults and "
+                        "repeats (skews absolute times, not ratios)")
+    parser.add_argument("--check", metavar="REPORT", default=None,
+                        help="compare fault_batch_speedup against a "
+                        "committed report; exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional speedup regression for "
+                        "--check (default 0.25)")
     args = parser.parse_args()
+
+    if args.circuits is None:
+        args.circuits = ["s953"] if args.quick else ["s953", "s5378"]
+    if args.faults is None:
+        args.faults = 30 if args.quick else 60
+    repeats = 1 if args.quick else 3
+    fault_cap = 200 if args.quick else 400
+
+    # Read the gate's baseline up front so `--out` and `--check` may name
+    # the same file without the fresh report clobbering the baseline.
+    committed = load_prev(args.check) if args.check else None
 
     config = ExperimentConfig(
         num_faults=args.faults, num_faults_large=args.faults,
@@ -284,6 +453,7 @@ def main():
         "pr": PR_NUMBER,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "quick": args.quick,
         "config": {
             "faults": args.faults,
             "patterns": args.patterns,
@@ -294,14 +464,19 @@ def main():
     }
     for name in args.circuits:
         log(f"benchmarking {name} ...")
-        timings = bench_circuit(name, config, args.partitions)
+        timings = bench_circuit(
+            name, config, args.partitions, repeats=repeats, fault_cap=fault_cap
+        )
+        timings.update(bench_disk_cache(name, config, args.partitions))
         report["circuits"].append(timings)
         log(
             f"  build cold {timings['workload_build_cold_s']:.3f}s"
             f" | warm {timings['workload_build_warm_s'] * 1000:.2f}ms"
+            f" | disk-warm {timings['workload_build_disk_warm_s'] * 1000:.2f}ms"
             f" | {timings['faults_per_sec']:.0f} faults/s"
-            f" | evaluate {timings['evaluate_warm_s']:.3f}s"
-            f" | seed path {timings['seed_evaluate_s']:.3f}s"
+            f" | batch speedup {timings['fault_batch_speedup']:.1f}x"
+            f" | serve cold {timings['serve_coldstart_cold_s']:.3f}s"
+            f" vs disk-warm {timings['serve_coldstart_disk_warm_s']:.3f}s"
             f" | end-to-end speedup {timings['end_to_end_speedup']:.1f}x"
         )
     log("collecting traced rollup ...")
@@ -312,7 +487,10 @@ def main():
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
+    if args.check:
+        return check_against(report, committed, args.tolerance)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -212,12 +212,24 @@ def stats_main(argv: Optional[List[str]] = None) -> int:
         description="Summarize a run manifest (manifest.json) or span log "
         "(trace.jsonl) produced by repro-experiment --trace.",
     )
-    parser.add_argument("path", help="manifest.json or trace.jsonl")
+    parser.add_argument("path", nargs="?", default=None,
+                        help="manifest.json or trace.jsonl")
     parser.add_argument("--top", type=int, default=15,
                         help="rows in the hot-path table (default 15)")
+    parser.add_argument("--disk-cache", nargs="?", metavar="DIR",
+                        const="", default=None, dest="disk_cache",
+                        help="summarize the persistent disk cache (DIR, or "
+                        "REPRO_DISK_CACHE when omitted)")
     args = parser.parse_args(argv)
 
     from .experiments.reporting import render_table
+
+    if args.disk_cache is not None:
+        code = _disk_cache_summary(args.disk_cache, render_table)
+        if args.path is None or code != 0:
+            return code
+    elif args.path is None:
+        parser.error("a telemetry file or --disk-cache is required")
 
     path = Path(args.path)
     if not path.exists():
@@ -253,11 +265,59 @@ def stats_main(argv: Optional[List[str]] = None) -> int:
             print(render_table(
                 "Cache", ["store", "hits", "misses", "hit rate"], cache_rows
             ))
+        faultsim_rows = _faultsim_summary(metrics)
+        if faultsim_rows:
+            print()
+            print(render_table(
+                "Fault simulation", ["metric", "value"], faultsim_rows
+            ))
         pool_rows = _pool_summary(metrics)
         if pool_rows:
             print()
             print(render_table("Worker pool", ["metric", "value"], pool_rows))
     return 0
+
+
+def _disk_cache_summary(raw_dir: str, render_table) -> int:
+    """Render the persistent disk-cache store (``repro stats --disk-cache``).
+
+    A missing or unusable directory is a clear one-line error (exit 2),
+    never a traceback; corrupt entries show up as a count.
+    """
+    from .experiments import cache_disk
+
+    root = Path(raw_dir) if raw_dir else cache_disk.cache_dir()
+    try:
+        summary = cache_disk.scan(root)
+    except cache_disk.DiskCacheError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot read disk cache: {exc}", file=sys.stderr)
+        return 2
+    rows = [
+        [kind, info["entries"], _human_bytes(info["bytes"])]
+        for kind, info in sorted(summary["kinds"].items())
+    ]
+    rows.append(["total", summary["entries"], _human_bytes(summary["bytes"])])
+    print(render_table(
+        f"Disk cache ({summary['dir']})", ["kind", "entries", "bytes"], rows
+    ))
+    if summary["corrupt"]:
+        print(f"warning: {summary['corrupt']} unreadable "
+              f"entr{'y' if summary['corrupt'] == 1 else 'ies'} skipped "
+              "(stale format or corruption; they will be rebuilt on demand)",
+              file=sys.stderr)
+    return 0
+
+
+def _human_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.1f} GiB"  # pragma: no cover - fallthrough guard
 
 
 class TelemetryFileError(Exception):
@@ -304,16 +364,45 @@ def _cache_summary(metrics: Dict[str, Any]) -> List[list]:
     kinds: Dict[str, Dict[str, float]] = {}
     for key, value in counters.items():
         name, labels = telemetry.split_metric_key(key)
-        if name not in ("cache.hits", "cache.misses"):
+        if name in ("cache.hits", "cache.misses"):
+            store = labels.get("kind", "?")
+            slot = "hits" if name == "cache.hits" else "misses"
+        elif name in ("cache.disk.hits", "cache.disk.misses"):
+            store = f"disk:{labels.get('kind', '?')}"
+            slot = "hits" if name == "cache.disk.hits" else "misses"
+        else:
             continue
-        entry = kinds.setdefault(labels.get("kind", "?"), {"hits": 0, "misses": 0})
-        entry["hits" if name == "cache.hits" else "misses"] += value
+        entry = kinds.setdefault(store, {"hits": 0, "misses": 0})
+        entry[slot] += value
     rows = []
     for kind in sorted(kinds):
         hits, misses = kinds[kind]["hits"], kinds[kind]["misses"]
         total = hits + misses
         rows.append([kind, int(hits), int(misses),
                      f"{hits / total:.1%}" if total else "-"])
+    return rows
+
+
+def _faultsim_summary(metrics: Dict[str, Any]) -> List[list]:
+    counters = metrics.get("counters", {})
+    histograms = metrics.get("histograms", {})
+    faults = counters.get("faultsim.faults")
+    if not faults:
+        return []
+    rows: List[list] = [["faults simulated", int(faults)]]
+    if "faultsim.detected" in counters:
+        rows.append(["detected", int(counters["faultsim.detected"])])
+    batched = counters.get("faultsim.batched_faults", 0)
+    rows.append(["batched faults",
+                 f"{int(batched)} ({batched / faults:.0%})" if batched
+                 else "0 (event-driven only)"])
+    if "faultsim.batches" in counters:
+        rows.append(["batches", int(counters["faultsim.batches"])])
+    cone = histograms.get("faultsim.batch_cone_nets")
+    if cone and cone.get("count"):
+        rows.append(["union cone nets (min/mean/max)",
+                     f"{cone['min']:.0f}/{cone['sum'] / cone['count']:.0f}/"
+                     f"{cone['max']:.0f}"])
     return rows
 
 
@@ -348,6 +437,9 @@ def _pool_summary(metrics: Dict[str, Any]) -> List[list]:
     if "pool.utilization" in gauges:
         rows.append(["utilization (last section)",
                      f"{gauges['pool.utilization']:.1%}"])
+    if "pool.transport_bytes" in counters:
+        rows.append(["transport payload",
+                     _human_bytes(int(counters["pool.transport_bytes"]))])
     if "pool.result_bytes" in counters:
         rows.append(["result payload", f"{int(counters['pool.result_bytes'])} B"])
     if "pool.pickle_s" in counters:

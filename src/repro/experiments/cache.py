@@ -29,8 +29,16 @@ into :data:`repro.telemetry.METRICS` as ``cache.hits{kind=...}`` /
 ``cache.bytes`` gauge (estimated recursively: numpy buffers dominate, so
 the estimate is accurate where it matters).
 
+Below the in-memory store sits an optional **disk tier**
+(:mod:`repro.experiments.cache_disk`, enabled by pointing
+``REPRO_DISK_CACHE`` at a directory): memory misses consult it before
+running the builder, fresh builds are persisted to it, and
+:func:`warm_from_disk` bulk-loads it into the memo store (the diagnosis
+service does this at startup so cold starts skip recompilation).
+
 Set ``REPRO_CACHE=0`` to disable (every lookup misses); ``clear()``
-empties the store, e.g. between benchmark timing passes.
+empties the in-memory store, e.g. between benchmark timing passes (the
+disk tier is never cleared implicitly).
 """
 
 from __future__ import annotations
@@ -39,9 +47,10 @@ import os
 import sys
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterable, Optional, Tuple
 
-from ..telemetry import METRICS
+from ..telemetry import METRICS, log
+from . import cache_disk
 
 _LOCK = threading.RLock()
 _STORE: Dict[Tuple[str, Hashable], Any] = {}
@@ -62,6 +71,9 @@ class CacheStats:
     evictions: int = 0
     #: Estimated resident bytes of all live entries.
     bytes: int = 0
+    #: Disk-tier counters (hits/misses/errors/bytes_read/bytes_written);
+    #: all zero when ``REPRO_DISK_CACHE`` is unset.
+    disk: Dict[str, int] = field(default_factory=dict)
 
     def record(self, kind: str, hit: bool) -> None:
         table = self.hits if hit else self.misses
@@ -93,8 +105,11 @@ def _record(kind: str, hit: bool) -> None:
 def memoized(kind: str, key: Hashable, builder: Callable[[], Any]) -> Any:
     """Return the cached value for ``(kind, key)``, building it on a miss.
 
-    With the cache disabled the builder runs unconditionally and nothing is
-    stored — the call is then exactly the uncached code path.
+    A memory miss first consults the disk tier (when ``REPRO_DISK_CACHE``
+    points somewhere); only a miss on both tiers runs the builder, and a
+    fresh build is persisted so every later process hits.  With the cache
+    disabled the builder runs unconditionally and nothing is stored — the
+    call is then exactly the uncached code path.
     """
     if not cache_enabled():
         with _LOCK:
@@ -107,7 +122,12 @@ def memoized(kind: str, key: Hashable, builder: Callable[[], Any]) -> Any:
             return _STORE[full_key]
     # Build outside the lock: workload construction is expensive and two
     # threads racing on the same key deterministically build equal values.
-    value = builder()
+    from_disk = False
+    value = None
+    if cache_disk.enabled_for(kind):
+        value, from_disk = cache_disk.load(kind, key)
+    if not from_disk:
+        value = builder()
     with _LOCK:
         _record(kind, hit=False)
         value = _STORE.setdefault(full_key, value)
@@ -115,7 +135,60 @@ def memoized(kind: str, key: Hashable, builder: Callable[[], Any]) -> Any:
             _SIZES[full_key] = estimate_bytes(value)
         METRICS.gauge("cache.entries", len(_STORE))
         METRICS.gauge("cache.bytes", sum(_SIZES.values()))
-        return value
+    if not from_disk and cache_disk.enabled_for(kind):
+        # Persist outside the lock; best-effort by contract.
+        cache_disk.store(kind, key, value)
+    return value
+
+
+def seed(kind: str, key: Hashable, value: Any) -> bool:
+    """Insert a pre-built value without touching the hit/miss counters
+    (used by disk warm-up).  Returns False if the key was already live."""
+    full_key = (kind, key)
+    with _LOCK:
+        if full_key in _STORE:
+            return False
+        _STORE[full_key] = value
+        _SIZES[full_key] = estimate_bytes(value)
+        METRICS.gauge("cache.entries", len(_STORE))
+        METRICS.gauge("cache.bytes", sum(_SIZES.values()))
+        return True
+
+
+def warm_from_disk(
+    kinds: Optional[Iterable[str]] = None,
+    max_bytes: Optional[int] = None,
+) -> int:
+    """Bulk-load disk-tier entries into the memo store.
+
+    Loads every readable entry of the requested kinds (default: all
+    persisted kinds), stopping once ``max_bytes`` of estimated resident
+    memory is reached.  Returns the number of entries seeded.  Unreadable
+    entries and unparsable keys are skipped with a log line — a corrupt
+    cache directory degrades to a cold start, never an error.
+    """
+    if not cache_enabled():
+        return 0
+    wanted = set(kinds) if kinds is not None else set(cache_disk.DISK_KINDS)
+    loaded = 0
+    for path, meta in cache_disk.iter_entries():
+        kind = meta.get("kind")
+        if kind not in wanted:
+            continue
+        if max_bytes is not None and total_bytes() >= max_bytes:
+            log(f"cache: disk warm-up stopped at {total_bytes()} B "
+                f"(budget {max_bytes} B)")
+            break
+        try:
+            key = cache_disk.parse_key(meta)
+        except (KeyError, SyntaxError, ValueError) as exc:
+            log(f"cache: skipping disk entry {path.name} with "
+                f"unparsable key: {exc!r}")
+            continue
+        value, ok = cache_disk.load(kind, key)
+        if ok and seed(kind, key, value):
+            loaded += 1
+    return loaded
 
 
 def evict(kind: str, key: Hashable) -> bool:
@@ -162,6 +235,7 @@ def stats() -> CacheStats:
             entries=len(_STORE),
             evictions=_EVICTIONS,
             bytes=sum(_SIZES.values()),
+            disk=cache_disk.stats(),
         )
 
 

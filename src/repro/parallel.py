@@ -32,7 +32,7 @@ import pickle
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from .telemetry import METRICS, TRACER, span
 
@@ -42,7 +42,27 @@ MIN_PARALLEL_ITEMS = 8
 #: Target number of chunks per worker (load balancing without tiny tasks).
 CHUNKS_PER_WORKER = 4
 
+
+class Codec(NamedTuple):
+    """Optional chunk-result transport codec for :func:`parallel_map`.
+
+    ``encode`` runs in the forked child over the chunk's result list and
+    returns a compact wire value (typically a dict of flat numpy arrays —
+    one buffer copy to pickle instead of thousands of small objects);
+    ``decode`` runs in the parent and must return the original result
+    list.  ``nbytes`` (optional) estimates the wire size of an encoded
+    value for the ``pool.transport_bytes`` counter without an extra
+    pickling pass.  Round-tripping must be lossless: serial and forked
+    results stay bit-identical.
+    """
+
+    encode: Callable[[List[Any]], Any]
+    decode: Callable[[Any], List[Any]]
+    nbytes: Optional[Callable[[Any], int]] = None
+
+
 _ACTIVE_TASK: Optional[Callable[[int], Any]] = None
+_ACTIVE_CODEC: Optional[Codec] = None
 
 
 def fork_available() -> bool:
@@ -96,6 +116,10 @@ def _run_chunk(indices: Sequence[int]) -> Tuple[List[Any], Dict[str, Any]]:
         "metrics": METRICS.diff(before),
         "spans": span_dicts,
     }
+    if _ACTIVE_CODEC is not None:
+        results = _ACTIVE_CODEC.encode(results)
+        if _ACTIVE_CODEC.nbytes is not None:
+            payload["transport_bytes"] = _ACTIVE_CODEC.nbytes(results)
     if TRACER.enabled:
         # Serialization cost of the results themselves (the executor will
         # pickle them again for the pipe; measuring here costs one extra
@@ -138,6 +162,8 @@ def _absorb_payloads(payloads: Sequence[Dict[str, Any]], wall_s: float) -> None:
         METRICS.observe("pool.chunk_size", payload.get("tasks", 0))
         METRICS.observe("pool.chunk_busy_s", payload.get("busy_s", 0.0))
         busy_total += payload.get("busy_s", 0.0)
+        if "transport_bytes" in payload:
+            METRICS.incr("pool.transport_bytes", payload["transport_bytes"])
         if "result_bytes" in payload:
             METRICS.incr("pool.result_bytes", payload["result_bytes"])
             METRICS.incr("pool.pickle_s", payload["pickle_s"])
@@ -155,22 +181,27 @@ def parallel_map(
     num_items: int,
     workers: Optional[int] = None,
     min_items: int = MIN_PARALLEL_ITEMS,
+    codec: Optional[Codec] = None,
 ) -> List[Any]:
     """``[task(0), task(1), ..., task(num_items-1)]``, possibly forked.
 
     Order (and therefore every downstream number) is identical to the
-    serial loop regardless of the worker count.
+    serial loop regardless of the worker count.  ``codec`` (optional)
+    compacts each chunk's results for the trip back through the pipe —
+    encode in the child, decode in the parent, lossless by contract; the
+    serial path never touches it.
     """
     workers = resolve_workers(workers)
     if workers <= 1 or num_items < max(min_items, 2) or not fork_available():
         return [task(i) for i in range(num_items)]
-    global _ACTIVE_TASK
+    global _ACTIVE_TASK, _ACTIVE_CODEC
     if _ACTIVE_TASK is not None:
         # Nested parallelism: the inner level runs serially.
         return [task(i) for i in range(num_items)]
     workers = min(workers, num_items)
     context = multiprocessing.get_context("fork")
     _ACTIVE_TASK = task
+    _ACTIVE_CODEC = codec
     chunks = _chunk_indices(num_items, workers)
     started = time.perf_counter()
     try:
@@ -183,4 +214,9 @@ def parallel_map(
             )
     finally:
         _ACTIVE_TASK = None
-    return [result for results, _ in chunk_results for result in results]
+        _ACTIVE_CODEC = None
+    return [
+        result
+        for results, _ in chunk_results
+        for result in (codec.decode(results) if codec is not None else results)
+    ]

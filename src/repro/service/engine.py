@@ -131,6 +131,23 @@ class DiagnosisEngine:
         """Resolve eagerly (e.g. at server start, before traffic lands)."""
         return self.resolve(request)
 
+    def warm_from_disk(self) -> int:
+        """Load the persistent disk tier (``REPRO_DISK_CACHE``) into the
+        process-wide memo store, bounded by this engine's cache budget.
+
+        Called at server start so cold starts skip netlist compilation and
+        fault simulation for every workload a previous process ever built.
+        Returns the number of entries loaded (0 when no disk cache is
+        configured or the directory is empty/corrupt — warm-up degrades,
+        it never fails).
+        """
+        loaded = cache.warm_from_disk(max_bytes=self.max_cache_bytes)
+        if loaded:
+            METRICS.incr("service.disk_warmed", loaded)
+            log(f"service: warmed {loaded} cache entries from disk "
+                f"({cache.total_bytes()} B resident)")
+        return loaded
+
     def _touch(self, cache_key: Hashable) -> None:
         """LRU bookkeeping + eviction down to the byte budget."""
         with self._lock:

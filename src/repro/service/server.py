@@ -496,6 +496,10 @@ async def _serve(args: argparse.Namespace) -> int:
     await server.start()
     print(f"serving on http://{server.host}:{server.port}", file=sys.stderr,
           flush=True)
+    if not args.no_disk_warm:
+        # Pull everything a previous process compiled out of the
+        # REPRO_DISK_CACHE tier before traffic lands (no-op when unset).
+        await loop.run_in_executor(None, engine.warm_from_disk)
     for circuit in args.prewarm or []:
         request = DiagnoseRequest.from_payload(
             {"circuit": circuit, "fault_index": 0})
@@ -537,6 +541,9 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--prewarm", action="append", metavar="CIRCUIT",
                         help="compile this circuit's default workload at "
                         "startup (repeatable)")
+    parser.add_argument("--no-disk-warm", action="store_true",
+                        help="skip loading the REPRO_DISK_CACHE tier into "
+                        "memory at startup")
     args = parser.parse_args(argv)
     try:
         return asyncio.run(_serve(args))

@@ -10,6 +10,7 @@ paper's diagnosis schemes consume.
 
 from __future__ import annotations
 
+import bisect
 from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -181,21 +182,40 @@ class FaultSimulator:
         return _combine(operands, op, invert, self._mask)
 
     def simulate_faults(
-        self, faults: Sequence[Fault], workers: Optional[int] = None
+        self,
+        faults: Sequence[Fault],
+        workers: Optional[int] = None,
+        batch: Optional[int] = None,
     ) -> List[FaultResponse]:
         """Error matrices for a fault population, in input order.
 
         Faults are independent, so ``workers > 1`` fans the population out
         over a fork-based process pool (``workers=None`` reads
         ``REPRO_WORKERS``, default serial; small populations and platforms
-        without fork always run serially).  Results are bit-identical to
-        the serial loop.
+        without fork always run serially).  By default the population runs
+        through the fault-batched cone kernel
+        (:mod:`repro.sim.faultsim_batch`; ``batch=None`` reads
+        ``REPRO_FAULT_BATCH``, 0 falls back to the per-fault event-driven
+        loop).  Results are bit-identical to the serial event-driven loop
+        either way.
         """
+        from .faultsim_batch import resolve_batch_size, simulate_faults_batched
+        from .transport import RESPONSE_CODEC
+
         faults = list(faults)
+        batch_size = resolve_batch_size(batch)
         with span("fault.sim", faults=len(faults)) as sp:
-            responses = parallel_map(
-                lambda i: self.simulate_fault(faults[i]), len(faults), workers
-            )
+            if batch_size and len(faults) > 1:
+                responses = simulate_faults_batched(
+                    self, faults, batch_size, workers
+                )
+            else:
+                responses = parallel_map(
+                    lambda i: self.simulate_fault(faults[i]),
+                    len(faults),
+                    workers,
+                    codec=RESPONSE_CODEC,
+                )
             sp.add("faults", len(faults))
             sp.add("detected", sum(1 for r in responses if r.detected))
         return responses
@@ -227,7 +247,5 @@ def merge_responses(responses: Sequence[FaultResponse]) -> FaultResponse:
 
 def _insort(schedule: List[int], value: int, lo: int) -> None:
     """Insert ``value`` into the sorted tail ``schedule[lo:]``."""
-    import bisect
-
     idx = bisect.bisect_left(schedule, value, lo=lo)
     schedule.insert(idx, value)

@@ -1,0 +1,244 @@
+"""Fault-batched, cone-restricted stuck-at simulation.
+
+The event-driven path in :mod:`repro.sim.faultsim` is bit-parallel along
+the *pattern* axis (64 patterns per ``uint64`` word) but still walks one
+fault at a time through a Python-level event loop.  This module batches
+the *fault* axis too: a batch of ``B`` faults is packed along a leading
+axis, the union of their static fanout cones is computed once, and every
+gate in that cone is re-evaluated with a single numpy op over the whole
+``(B, words)`` block — so the per-gate Python overhead is amortized over
+the batch instead of paid per fault.
+
+Faults are grouped by cone locality (sorted by the topological index of
+their fault site) so batch members share most of their cones and the
+union stays tight.  Within a batch each fault occupies one *lane* ``b``
+of the block; lanes are completely independent:
+
+* a lane's fault site is seeded with its stuck value (stem faults) or the
+  forced-fanin gate output (input-pin faults);
+* every other lane holds the fault-free value for that net, so
+  re-evaluating a gate outside a lane's own cone reproduces the fault-free
+  value exactly (combinational logic is deterministic);
+* if a fault site itself appears in the union cone (because it lies
+  inside *another* lane's cone), a per-lane fixup re-forces the stuck
+  value after the gate is evaluated, mirroring how the event-driven path
+  pins fault sites.
+
+The result is bit-identical to :meth:`FaultSimulator.simulate_fault` per
+fault (``tests/test_perf_equivalence.py`` holds the two paths together);
+the event-driven path remains both the fallback (``REPRO_FAULT_BATCH=0``)
+and the oracle.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..parallel import parallel_map
+from ..telemetry import METRICS
+from .faults import Fault
+from .logicsim import _OP_AND, _OP_OR, _OP_XOR, _combine
+from .transport import RESPONSE_CODEC
+
+#: Default faults per batch; chosen so a (batch, words) block stays small
+#: enough to live in L1/L2 while amortizing the per-gate Python overhead.
+DEFAULT_BATCH = 64
+
+
+def resolve_batch_size(batch: Optional[int] = None) -> int:
+    """Normalize a fault-batch request.
+
+    ``None`` reads ``REPRO_FAULT_BATCH``: unset/empty means the default,
+    ``0`` disables batching (pure event-driven path), any other integer is
+    the batch size.  Returns 0 (disabled) or a batch size >= 2.
+    """
+    if batch is None:
+        raw = os.environ.get("REPRO_FAULT_BATCH", "").strip()
+        if not raw:
+            return DEFAULT_BATCH
+        try:
+            batch = int(raw)
+        except ValueError:
+            return DEFAULT_BATCH
+    if batch <= 0:
+        return 0
+    return max(2, batch)
+
+
+def plan_batches(
+    simulator, faults: Sequence[Fault], batch_size: int
+) -> List[List[int]]:
+    """Group fault indices into cone-local batches.
+
+    Sorting by the topological index of the fault site clusters faults
+    whose fanout cones overlap, which keeps each batch's union cone close
+    to the largest single member's cone.  The sort is stable, so equal
+    sites keep input order and the plan is deterministic.
+    """
+    net_index = simulator.compiled.net_index
+    order = sorted(range(len(faults)), key=lambda i: net_index[faults[i].site])
+    return [order[i:i + batch_size] for i in range(0, len(order), batch_size)]
+
+
+def simulate_batch(simulator, faults: Sequence[Fault]) -> List["FaultResponse"]:
+    """Error matrices for one batch of faults, aligned with ``faults``.
+
+    Bit-identical to calling ``simulator.simulate_fault`` per fault.
+    """
+    compiled = simulator.compiled
+    good = simulator.good.values
+    mask = simulator._mask
+    words = good.shape[1]
+    batch = len(faults)
+
+    # Per-net (batch, words) value blocks; nets absent from the map hold
+    # their fault-free value in every lane.
+    vals: Dict[int, np.ndarray] = {}
+    # Per-lane pinning of fault sites, applied after a site gate is
+    # re-evaluated inside the union cone.
+    stem_pins: Dict[int, List[Tuple[int, np.ndarray]]] = {}
+    pin_pins: Dict[int, List[Tuple[int, int, np.ndarray]]] = {}
+    seeds: List[int] = []
+
+    zeros = np.zeros(words, dtype=np.uint64)
+    for lane, fault in enumerate(faults):
+        stuck_vec = mask.copy() if fault.stuck_at == 1 else zeros
+        if fault.pin is None:
+            site_idx = compiled.net_index[fault.net]
+            seeded = stuck_vec
+            stem_pins.setdefault(site_idx, []).append((lane, stuck_vec))
+        else:
+            gate_out, fanin_pos = fault.pin
+            site_idx = compiled.net_index[gate_out]
+            seeded = compiled.evaluate_net_with_forced_fanin(
+                good, site_idx, fanin_pos, stuck_vec, mask
+            )
+            pin_pins.setdefault(site_idx, []).append((lane, fanin_pos, stuck_vec))
+        block = vals.get(site_idx)
+        if block is None:
+            block = np.empty((batch, words), dtype=np.uint64)
+            block[:] = good[site_idx]
+            vals[site_idx] = block
+        block[lane] = seeded
+        seeds.append(site_idx)
+
+    # Union fanout cone of all seeds: every combinational gate reachable
+    # from any fault site.  Net indices are topological, so sorting the
+    # cone is a valid evaluation schedule.
+    fanout = simulator._fanout
+    cone = set()
+    stack = list(set(seeds))
+    while stack:
+        net_idx = stack.pop()
+        for succ in fanout.get(net_idx, ()):
+            if succ not in cone:
+                cone.add(succ)
+                stack.append(succ)
+    schedule = sorted(cone)
+    METRICS.incr("faultsim.batches")
+    METRICS.observe("faultsim.batch_cone_nets", len(schedule))
+
+    for out_idx in schedule:
+        _out, op, invert, fanins = compiled.gate_op(out_idx)
+        operands = [vals.get(src) for src in fanins]
+        block = _combine_batch(
+            [op_val if op_val is not None else good[src]
+             for op_val, src in zip(operands, fanins)],
+            op, invert, mask, batch, words,
+        )
+        # Re-pin fault sites that sit inside another lane's cone.
+        for lane, stuck_vec in stem_pins.get(out_idx, ()):
+            block[lane] = stuck_vec
+        for lane, fanin_pos, stuck_vec in pin_pins.get(out_idx, ()):
+            lane_ops = [
+                stuck_vec if pos == fanin_pos
+                else (vals[src][lane] if src in vals else good[src])
+                for pos, src in enumerate(fanins)
+            ]
+            block[lane] = _combine(lane_ops, op, invert, mask)
+        vals[out_idx] = block
+
+    # Collect captured errors at scan cells, per lane.
+    capture_cells = simulator._capture_cells
+    per_lane: List[Dict[int, np.ndarray]] = [{} for _ in range(batch)]
+    for net_idx, block in vals.items():
+        cells = capture_cells.get(net_idx)
+        if not cells:
+            continue
+        diff = (block ^ good[net_idx]) & mask
+        for lane in np.nonzero(diff.any(axis=1))[0]:
+            row = diff[lane]
+            for cell_pos in cells:
+                per_lane[int(lane)][cell_pos] = row.copy()
+    return [
+        simulator._response(fault, per_lane[lane])
+        for lane, fault in enumerate(faults)
+    ]
+
+
+def simulate_faults_batched(
+    simulator,
+    faults: Sequence[Fault],
+    batch_size: int,
+    workers: Optional[int] = None,
+) -> List["FaultResponse"]:
+    """Fault-batched population simulation, results in input order.
+
+    Batches are planned deterministically, so serial and forked runs see
+    identical batches and produce bit-identical responses; the fork pool
+    ships results back through the packed :data:`RESPONSE_CODEC` instead
+    of pickled per-cell dicts.
+    """
+    faults = list(faults)
+    batches = plan_batches(simulator, faults, batch_size)
+    METRICS.incr("faultsim.batched_faults", len(faults))
+
+    def run_batch(k: int) -> List["FaultResponse"]:
+        return simulate_batch(simulator, [faults[i] for i in batches[k]])
+
+    # Each batch is a heavy work item (a whole cone re-evaluation for up
+    # to ``batch_size`` faults), so forking pays off at far fewer items
+    # than the pool's per-fault default.
+    chunk_responses = parallel_map(
+        run_batch, len(batches), workers, min_items=2, codec=RESPONSE_CODEC
+    )
+    out: List[Optional["FaultResponse"]] = [None] * len(faults)
+    for indices, responses in zip(batches, chunk_responses):
+        for i, response in zip(indices, responses):
+            out[i] = response
+    return out  # type: ignore[return-value]
+
+
+def _combine_batch(
+    operands: Sequence[np.ndarray],
+    op: int,
+    invert: bool,
+    mask: np.ndarray,
+    batch: int,
+    words: int,
+) -> np.ndarray:
+    """:func:`repro.sim.logicsim._combine` over a ``(batch, words)`` block.
+
+    Operands may be 1-D fault-free vectors (broadcast over lanes) or
+    per-lane 2-D blocks; the result is always a fresh 2-D block.
+    """
+    first = operands[0]
+    acc = np.empty((batch, words), dtype=np.uint64)
+    acc[:] = first
+    if op == _OP_AND:
+        for other in operands[1:]:
+            acc &= other
+    elif op == _OP_OR:
+        for other in operands[1:]:
+            acc |= other
+    elif op == _OP_XOR:
+        for other in operands[1:]:
+            acc ^= other
+    # _OP_BUF: single operand, nothing to combine.
+    if invert:
+        np.invert(acc, out=acc)
+    acc &= mask
+    return acc

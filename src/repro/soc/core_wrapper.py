@@ -21,6 +21,10 @@ from ..sim.faults import Fault, collapse_faults, sample_faults
 from ..sim.faultsim import FaultResponse, FaultSimulator
 from ..sim.logicsim import CompiledCircuit
 
+#: Smallest fault slab worth handing to ``simulate_faults`` while sampling
+#: for detected faults — keeps the batched kernel fed near the tail.
+_SAMPLE_SLAB_MIN = 32
+
 
 class EmbeddedCore:
     """One core of the SOC, with its own BIST pattern expansion.
@@ -80,13 +84,23 @@ class EmbeddedCore:
         universe = list(self.collapsed_faults())
         rng.shuffle(universe)
         responses: List[FaultResponse] = []
-        for fault in universe:
-            response = self._fault_simulator.simulate_fault(fault)
-            if detected_only and not response.detected:
-                continue
-            responses.append(response)
-            if len(responses) >= count:
-                break
+        pos = 0
+        while pos < len(universe) and len(responses) < count:
+            # Simulate a slab at a time so the fault-batched kernel (and
+            # the worker pool) serve the sampling loop; selection still
+            # follows shuffle order exactly, so the chosen responses are
+            # bit-identical to the one-at-a-time loop.  A slab may
+            # simulate a few faults past ``count`` — undetected faults
+            # make that unavoidable anyway.
+            need = count - len(responses)
+            slab = universe[pos:pos + max(need, _SAMPLE_SLAB_MIN)]
+            pos += len(slab)
+            for response in self._fault_simulator.simulate_faults(slab):
+                if detected_only and not response.detected:
+                    continue
+                responses.append(response)
+                if len(responses) >= count:
+                    break
         return responses
 
 

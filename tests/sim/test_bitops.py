@@ -47,6 +47,28 @@ class TestPatternMask:
     def test_zero_patterns(self):
         assert pattern_mask(0).size == 0
 
+    @pytest.mark.parametrize("n", [1, 63, 65, 100, 127, 129, 953])
+    def test_non_word_multiple_tail(self, n):
+        """The last word masks off exactly the unused tail bits."""
+        mask = pattern_mask(n)
+        assert mask.size == num_words(n)
+        assert popcount(mask) == n
+        tail_bits = n % WORD_BITS
+        assert int(mask[-1]) == (1 << tail_bits) - 1
+
+    @pytest.mark.parametrize("n", [100, 129, 953])
+    def test_masking_clears_tail_only(self, n):
+        """ANDing all-ones with the mask keeps every pattern bit and
+        clears every tail bit — the invariant the simulators rely on."""
+        ones = np.full(num_words(n), np.uint64(0xFFFFFFFFFFFFFFFF))
+        masked = ones & pattern_mask(n)
+        assert unpack_bits(masked, n) == [1] * n
+        assert popcount(masked) == n  # nothing above bit n survives
+
+    def test_pack_bits_never_sets_tail(self):
+        vec = pack_bits([1] * 100)
+        assert np.array_equal(vec, vec & pattern_mask(100))
+
 
 @given(st.lists(st.integers(0, 1), min_size=0, max_size=200))
 def test_pack_unpack_round_trip(bits):

@@ -176,3 +176,45 @@ class TestFaultResponse:
             assert not response.errors_at(
                 small_compiled.num_scan_cells - 1
             ).any() or (small_compiled.num_scan_cells - 1) in response.failing_cells
+
+
+class TestInsort:
+    def test_inserts_keeping_sorted_tail(self):
+        from repro.sim.faultsim import _insort
+
+        schedule = [1, 3, 5, 9]
+        _insort(schedule, 4, 0)
+        assert schedule == [1, 3, 4, 5, 9]
+        _insort(schedule, 7, 2)
+        assert schedule == [1, 3, 4, 5, 7, 9]
+
+    def test_respects_lo_bound(self):
+        from repro.sim.faultsim import _insort
+
+        # The visited prefix may be unsorted; only the tail from ``lo``
+        # participates in the binary search.
+        schedule = [9, 2, 4, 6]
+        _insort(schedule, 5, 1)
+        assert schedule == [9, 2, 4, 5, 6]
+
+    def test_random_sequences_stay_sorted(self):
+        import random
+
+        from repro.sim.faultsim import _insort
+
+        rand = random.Random(7)
+        for _ in range(50):
+            schedule = sorted(rand.sample(range(1000), 20))
+            for value in rand.sample(range(1000), 30):
+                if value not in schedule:
+                    _insort(schedule, value, 0)
+            assert schedule == sorted(schedule)
+
+    def test_bisect_imported_at_module_scope(self):
+        # The hot loop must not pay a per-call ``import bisect``.
+        import inspect
+
+        import repro.sim.faultsim as faultsim
+
+        assert hasattr(faultsim, "bisect")
+        assert "import bisect" not in inspect.getsource(faultsim._insort)

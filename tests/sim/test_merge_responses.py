@@ -48,6 +48,29 @@ class TestMerge:
         with pytest.raises(ValueError):
             merge_responses([response({0: [1]}, 8), response({0: [1]}, 16)])
 
+    def test_multi_word_cancellation_with_tail(self):
+        # 100 patterns span two words with a 36-bit tail; cancellation
+        # must work across both words and never touch tail bits.
+        a = response({0: [1, 64, 99], 1: [50]}, num_patterns=100)
+        b = response({0: [64, 99]}, num_patterns=100)
+        merged = merge_responses([a, b])
+        assert unpack_bits(merged.cell_errors[0], 100) == [
+            1 if p == 1 else 0 for p in range(100)
+        ]
+        assert set(merged.cell_errors) == {0, 1}
+
+    def test_triple_merge_odd_parity_survives(self):
+        # XOR superposition: a bit flipped by an odd number of faults stays.
+        trio = [response({0: [2]}), response({0: [2]}), response({0: [2]})]
+        merged = merge_responses(trio)
+        assert unpack_bits(merged.cell_errors[0], 8)[2] == 1
+
+    def test_all_cells_cancel_yields_undetected(self):
+        a = response({0: [1], 3: [4]})
+        merged = merge_responses([a, a])
+        assert merged.cell_errors == {}
+        assert not merged.detected
+
     def test_single_response_copy(self):
         a = response({2: [0]})
         merged = merge_responses([a])

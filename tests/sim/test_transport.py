@@ -1,0 +1,119 @@
+"""Round-trip tests for the packed fault-response transport codec."""
+
+import numpy as np
+import pytest
+
+import repro.sim.transport as transport
+from repro.sim.faults import Fault
+from repro.sim.faultsim import FaultResponse
+from repro.sim.transport import (
+    RESPONSE_CODEC,
+    pack_response_chunk,
+    payload_nbytes,
+    shm_enabled,
+    unpack_response_chunk,
+)
+
+
+def make_response(seed, num_patterns=100, num_cells=5, words=2):
+    rng = np.random.default_rng(seed)
+    cell_errors = {
+        int(cell): rng.integers(0, 2**63, size=words, dtype=np.uint64)
+        for cell in rng.choice(200, size=num_cells, replace=False)
+    }
+    fault = Fault(f"net{seed}", int(seed) % 2)
+    return FaultResponse(fault, cell_errors, num_patterns)
+
+
+def assert_responses_equal(a, b):
+    assert a.fault == b.fault
+    assert a.num_patterns == b.num_patterns
+    assert list(a.cell_errors) == list(b.cell_errors)
+    for cell in a.cell_errors:
+        assert np.array_equal(a.cell_errors[cell], b.cell_errors[cell])
+
+
+class TestRoundTrip:
+    def test_bare_responses(self):
+        items = [make_response(i) for i in range(7)]
+        out = unpack_response_chunk(pack_response_chunk(items))
+        assert len(out) == len(items)
+        for a, b in zip(items, out):
+            assert_responses_equal(a, b)
+
+    def test_nested_lists(self):
+        # The batched kernel returns one list per batch.
+        items = [
+            [make_response(1), make_response(2)],
+            [make_response(3)],
+            make_response(4),
+            [],
+        ]
+        out = unpack_response_chunk(pack_response_chunk(items))
+        assert isinstance(out[0], list) and len(out[0]) == 2
+        assert isinstance(out[1], list) and len(out[1]) == 1
+        assert isinstance(out[2], FaultResponse)
+        assert out[3] == []
+        flatten = lambda xs: [r for x in xs for r in (x if isinstance(x, list) else [x])]
+        for a, b in zip(flatten(items), flatten(out)):
+            assert_responses_equal(a, b)
+
+    def test_undetected_response_empty_cells(self):
+        items = [FaultResponse(Fault("g1", 0), {}, 64), make_response(9)]
+        out = unpack_response_chunk(pack_response_chunk(items))
+        assert out[0].cell_errors == {}
+        assert out[0].num_patterns == 64
+        assert_responses_equal(items[1], out[1])
+
+    def test_empty_chunk(self):
+        assert unpack_response_chunk(pack_response_chunk([])) == []
+
+    def test_codec_fields(self):
+        assert RESPONSE_CODEC.encode is pack_response_chunk
+        assert RESPONSE_CODEC.decode is unpack_response_chunk
+        assert RESPONSE_CODEC.nbytes is payload_nbytes
+
+
+class TestPayloadNbytes:
+    def test_counts_matrix_bytes(self):
+        items = [make_response(i, num_cells=4, words=3) for i in range(5)]
+        payload = pack_response_chunk(items)
+        # 5 responses x 4 cells x 3 words x 8 bytes of matrix at minimum.
+        assert payload_nbytes(payload) >= 5 * 4 * 3 * 8
+
+    def test_counts_shm_matrix_as_transported(self, monkeypatch):
+        monkeypatch.setattr(transport, "SHM_MIN_BYTES", 1)
+        items = [make_response(i, num_cells=4, words=3) for i in range(5)]
+        payload = pack_response_chunk(items)
+        try:
+            assert "shm" in payload
+            assert payload_nbytes(payload) >= 5 * 4 * 3 * 8
+        finally:
+            transport._receive_matrix(payload)  # drain + unlink the segment
+
+
+class TestSharedMemory:
+    def test_shm_round_trip(self, monkeypatch):
+        monkeypatch.setattr(transport, "SHM_MIN_BYTES", 1)
+        items = [make_response(i) for i in range(6)]
+        payload = pack_response_chunk(items)
+        assert "shm" in payload and "matrix" not in payload
+        out = unpack_response_chunk(payload)
+        for a, b in zip(items, out):
+            assert_responses_equal(a, b)
+        # The parent drained and unlinked the segment; reattach must fail.
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=payload["shm"])
+
+    def test_repro_shm_zero_disables(self, monkeypatch):
+        monkeypatch.setattr(transport, "SHM_MIN_BYTES", 1)
+        monkeypatch.setenv("REPRO_SHM", "0")
+        assert not shm_enabled()
+        payload = pack_response_chunk([make_response(1)])
+        assert "matrix" in payload and "shm" not in payload
+
+    def test_shm_enabled_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHM", raising=False)
+        assert shm_enabled()

@@ -124,3 +124,64 @@ class TestStatsRobustness:
         trace.write_text("")
         assert stats_main([str(trace)]) == 2
         assert "empty" in capsys.readouterr().err
+
+
+class TestStatsDiskCache:
+    """`repro stats --disk-cache` renders the persistent store and turns
+    every unusable-directory case into a clear exit-2 error line."""
+
+    def _populate(self, root, monkeypatch):
+        from repro.experiments import cache_disk
+
+        monkeypatch.setenv("REPRO_DISK_CACHE", str(root))
+        cache_disk.store("workload", ("s27", 1.0, 64, 0, 5), {"x": 1})
+        cache_disk.store("partitions", ("two-step", 9, 3, 4), [1, 2])
+
+    def test_summary_renders_kinds(self, capsys, tmp_path, monkeypatch):
+        from repro.cli import stats_main
+
+        self._populate(tmp_path / "dc", monkeypatch)
+        assert stats_main(["--disk-cache", str(tmp_path / "dc")]) == 0
+        out = capsys.readouterr().out
+        assert "Disk cache" in out
+        assert "workload" in out and "partitions" in out
+        assert "total" in out
+
+    def test_env_dir_used_when_flag_bare(self, capsys, tmp_path, monkeypatch):
+        from repro.cli import stats_main
+
+        self._populate(tmp_path / "dc", monkeypatch)
+        assert stats_main(["--disk-cache"]) == 0
+        assert "workload" in capsys.readouterr().out
+
+    def test_missing_dir_clear_error(self, capsys, tmp_path, monkeypatch):
+        from repro.cli import stats_main
+
+        monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+        assert stats_main(["--disk-cache", str(tmp_path / "absent")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "does not exist" in err
+
+    def test_unconfigured_clear_error(self, capsys, monkeypatch):
+        from repro.cli import stats_main
+
+        monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+        assert stats_main(["--disk-cache"]) == 2
+        assert "no disk cache configured" in capsys.readouterr().err
+
+    def test_corrupt_entries_warned_not_fatal(self, capsys, tmp_path, monkeypatch):
+        from repro.cli import stats_main
+
+        root = tmp_path / "dc"
+        self._populate(root, monkeypatch)
+        (root / "workload-ffffffffff.rpdc").write_bytes(b"not an entry")
+        assert stats_main(["--disk-cache", str(root)]) == 0
+        captured = capsys.readouterr()
+        assert "warning: 1 unreadable entry" in captured.err
+
+    def test_no_arguments_at_all_rejected(self, capsys):
+        from repro.cli import stats_main
+
+        with pytest.raises(SystemExit):
+            stats_main([])

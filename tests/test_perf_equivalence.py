@@ -233,6 +233,67 @@ class TestParallelEvaluation:
             assert a.candidate_history == b.candidate_history
 
 
+class TestFaultBatchedEvaluation:
+    """The fault-batched kernel (PR 4) is a pure optimization too: every
+    end-to-end number must match the event-driven path exactly."""
+
+    def setup_method(self):
+        clear_caches()
+
+    def teardown_method(self):
+        clear_caches()
+
+    def test_evaluate_scheme_batched_vs_event(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_BATCH", "0")
+        clear_caches()
+        event = evaluate_scheme(
+            build_circuit_workload("s953", TINY), "two-step", 3, 4, TINY, workers=0
+        )
+        monkeypatch.setenv("REPRO_FAULT_BATCH", "16")
+        clear_caches()
+        batched = evaluate_scheme(
+            build_circuit_workload("s953", TINY), "two-step", 3, 4, TINY, workers=0
+        )
+        assert event.dr == batched.dr
+        for a, b in zip(event.results, batched.results):
+            assert a.candidate_cells == b.candidate_cells
+            assert a.candidate_history == b.candidate_history
+
+    def test_batched_serial_vs_forked_identical(self, small_compiled, small_good):
+        from repro.sim.faults import collapse_faults
+
+        sim = FaultSimulator(small_compiled, small_good)
+        faults = collapse_faults(small_compiled.netlist)[:16]
+        serial = sim.simulate_faults(faults, workers=0, batch=4)
+        forked = sim.simulate_faults(faults, workers=2, batch=4)
+        for a, b in zip(serial, forked):
+            assert a.fault == b.fault
+            assert set(a.cell_errors) == set(b.cell_errors)
+            for cell in a.cell_errors:
+                np.testing.assert_array_equal(a.cell_errors[cell], b.cell_errors[cell])
+
+
+class TestDiskCacheEquivalence:
+    """Values served from the persistent disk tier must be bit-identical
+    to freshly built ones, end to end."""
+
+    def test_disk_warm_run_reproduces_cold_dr(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DISK_CACHE", str(tmp_path / "dc"))
+        clear_caches()
+        cold = evaluate_scheme(
+            build_circuit_workload("s953", TINY), "two-step", 3, 4, TINY, workers=0
+        )
+        clear_caches()  # memory gone; next build comes off disk
+        warm = evaluate_scheme(
+            build_circuit_workload("s953", TINY), "two-step", 3, 4, TINY, workers=0
+        )
+        clear_caches()
+        assert cold.dr == warm.dr
+        for a, b in zip(cold.results, warm.results):
+            assert a.candidate_cells == b.candidate_cells
+            assert a.num_sessions == b.num_sessions
+
+
 class TestPopcount:
     def test_matches_unpackbits_reference(self, rng):
         from repro.sim import bitops
