@@ -1,6 +1,6 @@
 #!/usr/bin/env python
 """Performance-trajectory harness: times the pipeline's hot stages and
-writes a machine-readable ``BENCH_PR4.json`` so future PRs can track the
+writes a machine-readable ``BENCH_PR6.json`` so future PRs can track the
 perf trajectory.
 
 Stages, per benchmark circuit:
@@ -10,11 +10,19 @@ Stages, per benchmark circuit:
 * ``workload_build_warm_s`` — same call with the process-wide cache warm.
 * ``workload_build_disk_warm_s`` — same call with the memory cache empty
   but the persistent disk tier (``REPRO_DISK_CACHE``) populated.
+* ``good_sim_soa_s`` vs ``good_sim_pergate_s`` — one full good-machine
+  simulation through the level-group SoA kernel (PR 6) against the
+  per-gate loop; ``soa_speedup`` is the ratio and the two value planes
+  must match bit-for-bit (asserted).
 * ``fault_sim_event_s`` — event-driven fault simulation
   (``REPRO_FAULT_BATCH=0``), the PR 1-3 kernel.
-* ``fault_sim_batch_s`` — the fault-batched cone kernel (PR 4).
-  ``fault_batch_speedup`` is the ratio; ``fault_sim_s`` keeps tracking the
-  *default* path so the trajectory key stays comparable across PRs.
+* ``fault_sim_batch_s`` — the fault-batched cone kernel (PR 4), which by
+  default evaluates cones through the SoA schedule;
+  ``fault_sim_batch_pergate_s`` times the same batches with
+  ``REPRO_SOA=0`` and ``fault_soa_speedup`` is their ratio.
+  ``fault_batch_speedup`` is the event/batch ratio; ``fault_sim_s``
+  keeps tracking the *default* path so the trajectory key stays
+  comparable across PRs.
 * ``transport_bytes_packed`` vs ``transport_bytes_legacy_pickle`` — bytes
   the fork pool ships per fault-sim pass with the packed codec, against
   what pickling the same responses the pre-PR 4 way would have cost.
@@ -33,23 +41,24 @@ path).  A separate traced pass afterwards collects the span rollup and
 metric totals that are embedded under ``"telemetry"`` — so the report
 carries both the wall-clock trajectory and where the time went.
 
-The previous trajectory file (``--prev``, default ``BENCH_PR1.json`` — the
-last PR whose report predates the batched kernel) is optional: when
+The previous trajectory file (``--prev``, default ``BENCH_PR4.json`` — the
+last PR whose report predates the SoA kernel) is optional: when
 present, per-circuit wall-clock and per-stage telemetry deltas are
 recorded under ``"deltas_vs_prev"``; when absent the report simply omits
 them.
 
-``--check BENCH_PR4.json`` turns the harness into a CI gate: after the
-run it compares this machine's ``fault_batch_speedup`` per circuit against
-the committed report and exits 1 if any circuit regressed by more than
-``--tolerance`` (default 0.25).  Speedups are machine-relative ratios, so
-the gate is robust to absolute-speed differences between CI runners and
-the machine that produced the committed report.
+``--check BENCH_PR6.json`` turns the harness into a CI gate: after the
+run it compares this machine's ``fault_batch_speedup`` and
+``soa_speedup`` per circuit against the committed report and exits 1 if
+either regressed by more than ``--tolerance`` (default 0.25) on any
+circuit.  Speedups are machine-relative ratios, so the gate is robust to
+absolute-speed differences between CI runners and the machine that
+produced the committed report.
 
 Run:  PYTHONPATH=src python scripts/bench.py [--circuits s953 s5378]
-      [--faults N] [--partitions N] [--out BENCH_PR4.json]
-      [--prev BENCH_PR1.json] [--quick]
-      [--check BENCH_PR4.json --tolerance 0.25]
+      [--faults N] [--partitions N] [--out BENCH_PR6.json]
+      [--prev BENCH_PR4.json] [--quick]
+      [--check BENCH_PR6.json --tolerance 0.25]
 """
 
 import argparse
@@ -68,6 +77,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.bist.misr import LinearCompactor
+from repro.bist.patterns import fast_pattern_matrices
 from repro.bist.session import run_partition_sessions_scalar
 from repro.experiments.cache import clear_caches
 from repro.experiments.config import ExperimentConfig
@@ -79,11 +89,11 @@ from repro.experiments.runner import (
 from repro.sim.bitops import WORD_BITS
 from repro.sim.faults import collapse_faults
 from repro.sim.faultsim import FaultSimulator
-from repro.soc.core_wrapper import EmbeddedCore
+from repro.soc.core_wrapper import EmbeddedCore, _name_seed
 from repro.telemetry import METRICS, log
 
 NUM_GROUPS = 4
-PR_NUMBER = 4
+PR_NUMBER = 6
 
 
 def seed_collect_events(response, scan_config):
@@ -170,6 +180,31 @@ def bench_circuit(name, config, num_partitions, repeats=3, fault_cap=400):
     sample = faults[: min(len(faults), fault_cap)]
     sim = FaultSimulator(core.compiled, core._good)
 
+    # Good-machine simulation: the level-group SoA kernel vs the per-gate
+    # loop, same pattern matrices the core simulated at construction.
+    # The schedule builds (or loads) before the timed region — it is a
+    # once-per-circuit cost the cache tiers absorb in real runs.
+    compiled = core.compiled
+    pi, ff = fast_pattern_matrices(
+        compiled.num_inputs, compiled.num_scan_cells, config.num_patterns,
+        seed=0xACE1 ^ _name_seed(name),
+    )
+    compiled.soa_schedule()
+    soa_s, soa_result = best_of(
+        max(repeats, 3),
+        lambda: compiled.simulate(pi, ff, config.num_patterns, soa=True),
+    )
+    pergate_s, pergate_result = best_of(
+        max(repeats, 3),
+        lambda: compiled.simulate(pi, ff, config.num_patterns, soa=False),
+    )
+    assert np.array_equal(soa_result.values, pergate_result.values), (
+        f"SoA kernel drift on {name}: good-machine values differ"
+    )
+    timings["good_sim_soa_s"] = soa_s
+    timings["good_sim_pergate_s"] = pergate_s
+    timings["soa_speedup"] = pergate_s / soa_s if soa_s else None
+
     # Event-driven oracle vs the fault-batched cone kernel, both serial so
     # the ratio isolates the kernel (not the pool).  ``fault_sim_s`` keeps
     # naming the *default* path so the cross-PR trajectory key stays
@@ -184,8 +219,29 @@ def bench_circuit(name, config, num_partitions, repeats=3, fault_cap=400):
         assert a.cell_errors.keys() == b.cell_errors.keys(), (
             f"batched kernel drift on {name}: {a.fault}"
         )
+        for cell, vec in a.cell_errors.items():
+            assert np.array_equal(vec, b.cell_errors[cell]), (
+                f"batched kernel drift on {name}: {a.fault} cell {cell}"
+            )
+    # The same batches with the SoA cone kernel switched off isolates the
+    # gate-axis win inside the batched path.
+    saved_soa = os.environ.get("REPRO_SOA")
+    os.environ["REPRO_SOA"] = "0"
+    try:
+        batch_pergate_s, _ = best_of(
+            repeats, lambda: sim.simulate_faults(sample, workers=0)
+        )
+    finally:
+        if saved_soa is None:
+            os.environ.pop("REPRO_SOA", None)
+        else:
+            os.environ["REPRO_SOA"] = saved_soa
     timings["fault_sim_event_s"] = event_s
     timings["fault_sim_batch_s"] = batch_s
+    timings["fault_sim_batch_pergate_s"] = batch_pergate_s
+    timings["fault_soa_speedup"] = (
+        batch_pergate_s / batch_s if batch_s else None
+    )
     timings["fault_sim_s"] = batch_s
     timings["fault_batch_speedup"] = event_s / batch_s if batch_s else None
     timings["num_faults_simulated"] = len(sample)
@@ -308,9 +364,15 @@ def bench_disk_cache(name, config, num_partitions):
     return timings
 
 
+#: Machine-relative ratios the ``--check`` gate holds against the
+#: committed report; a metric absent from either side is skipped, so old
+#: reports keep gating what they actually recorded.
+GATED_SPEEDUPS = ("fault_batch_speedup", "soa_speedup")
+
+
 def check_against(report, committed, tolerance):
-    """CI gate: fail when ``fault_batch_speedup`` regressed vs the
-    committed report by more than ``tolerance`` on any circuit.
+    """CI gate: fail when any :data:`GATED_SPEEDUPS` ratio regressed vs
+    the committed report by more than ``tolerance`` on any circuit.
 
     Compares machine-relative ratios, never absolute wall clocks, so a
     slower CI runner alone cannot trip the gate.
@@ -318,28 +380,27 @@ def check_against(report, committed, tolerance):
     if committed is None:
         print("check: no committed report; skipping gate")
         return 0
-    baseline = {
-        c["circuit"]: c.get("fault_batch_speedup")
-        for c in committed.get("circuits", [])
-    }
+    baseline = {c["circuit"]: c for c in committed.get("circuits", [])}
     failures = []
     for timing in report["circuits"]:
-        expected = baseline.get(timing["circuit"])
-        got = timing.get("fault_batch_speedup")
-        if not expected or not got:
-            continue
-        floor = expected * (1.0 - tolerance)
-        status = "ok" if got >= floor else "REGRESSED"
-        print(
-            f"check: {timing['circuit']} fault_batch_speedup "
-            f"{got:.2f}x vs committed {expected:.2f}x "
-            f"(floor {floor:.2f}x) {status}"
-        )
-        if got < floor:
-            failures.append(timing["circuit"])
+        before = baseline.get(timing["circuit"], {})
+        for metric in GATED_SPEEDUPS:
+            expected = before.get(metric)
+            got = timing.get(metric)
+            if not expected or not got:
+                continue
+            floor = expected * (1.0 - tolerance)
+            status = "ok" if got >= floor else "REGRESSED"
+            print(
+                f"check: {timing['circuit']} {metric} "
+                f"{got:.2f}x vs committed {expected:.2f}x "
+                f"(floor {floor:.2f}x) {status}"
+            )
+            if got < floor:
+                failures.append(f"{timing['circuit']}:{metric}")
     if failures:
         print(
-            f"check: FAIL — fault-sim speedup regressed beyond "
+            f"check: FAIL — speedup regressed beyond "
             f"{tolerance:.0%} on: {', '.join(failures)}"
         )
         return 1
@@ -394,8 +455,8 @@ def deltas_vs_prev(report, prev):
         if not before:
             continue
         per = {}
-        for key in ("workload_build_cold_s", "fault_sim_s", "evaluate_warm_s",
-                    "end_to_end_warm_s", "seed_evaluate_s"):
+        for key in ("workload_build_cold_s", "fault_sim_s", "good_sim_soa_s",
+                    "evaluate_warm_s", "end_to_end_warm_s", "seed_evaluate_s"):
             now, old = timing.get(key), before.get(key)
             if now is not None and old:
                 per[key] = {"now": now, "prev": old, "ratio": now / old}
@@ -420,7 +481,7 @@ def main():
     parser.add_argument("--patterns", type=int, default=128)
     parser.add_argument("--partitions", type=int, default=8)
     parser.add_argument("--out", default=f"BENCH_PR{PR_NUMBER}.json")
-    parser.add_argument("--prev", default="BENCH_PR1.json",
+    parser.add_argument("--prev", default="BENCH_PR4.json",
                         help="previous trajectory file for deltas "
                         "(missing is fine)")
     parser.add_argument("--quick", action="store_true",
@@ -474,6 +535,7 @@ def main():
             f" | warm {timings['workload_build_warm_s'] * 1000:.2f}ms"
             f" | disk-warm {timings['workload_build_disk_warm_s'] * 1000:.2f}ms"
             f" | {timings['faults_per_sec']:.0f} faults/s"
+            f" | soa speedup {timings['soa_speedup']:.1f}x"
             f" | batch speedup {timings['fault_batch_speedup']:.1f}x"
             f" | serve cold {timings['serve_coldstart_cold_s']:.3f}s"
             f" vs disk-warm {timings['serve_coldstart_disk_warm_s']:.3f}s"

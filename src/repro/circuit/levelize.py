@@ -54,6 +54,17 @@ def levelize(netlist: Netlist) -> Dict[str, int]:
     return levels
 
 
+def level_array(netlist: Netlist, order: Sequence[str]) -> List[int]:
+    """Combinational depth of each net of ``order`` (sources at 0).
+
+    The :func:`levelize` map flattened onto an explicit net ordering —
+    typically ``CompiledCircuit.net_order`` — so array-based consumers
+    (the SoA schedule builder) can index levels by value-plane row.
+    """
+    levels = levelize(netlist)
+    return [levels[net] for net in order]
+
+
 def fanout_cone(netlist: Netlist, root: str) -> Set[str]:
     """All nets reachable from ``root`` through combinational gates.
 

@@ -271,6 +271,12 @@ def stats_main(argv: Optional[List[str]] = None) -> int:
             print(render_table(
                 "Fault simulation", ["metric", "value"], faultsim_rows
             ))
+        kernel_rows = _kernel_summary(metrics)
+        if kernel_rows:
+            print()
+            print(render_table(
+                "Gate-eval kernel", ["metric", "value"], kernel_rows
+            ))
         pool_rows = _pool_summary(metrics)
         if pool_rows:
             print()
@@ -403,6 +409,36 @@ def _faultsim_summary(metrics: Dict[str, Any]) -> List[list]:
         rows.append(["union cone nets (min/mean/max)",
                      f"{cone['min']:.0f}/{cone['sum'] / cone['count']:.0f}/"
                      f"{cone['max']:.0f}"])
+    return rows
+
+
+def _kernel_summary(metrics: Dict[str, Any]) -> List[list]:
+    """The SoA level-schedule table: which gate-evaluation kernel ran,
+    the schedule shape, and the gather volume it moved."""
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    sims: Dict[str, int] = {}
+    for key, value in counters.items():
+        name, labels = telemetry.split_metric_key(key)
+        if name == "logicsim.sims":
+            kernel = labels.get("kernel", "?")
+            sims[kernel] = sims.get(kernel, 0) + int(value)
+    rows: List[list] = []
+    if sims:
+        rows.append(["good-machine sims",
+                     " ".join(f"{k}={v}" for k, v in sorted(sims.items()))])
+    if "faultsim.batches" in counters:
+        rows.append(["SoA cone batches",
+                     f"{int(counters.get('faultsim.soa_batches', 0))} of "
+                     f"{int(counters['faultsim.batches'])}"])
+    if "soa.levels" in gauges:
+        rows.append(["SoA schedule",
+                     f"{int(gauges['soa.levels'])} levels, "
+                     f"{int(gauges.get('soa.groups', 0))} groups, "
+                     f"{int(gauges.get('soa.gates', 0))} gates"])
+    if "soa.gather_bytes" in counters:
+        rows.append(["SoA gather volume",
+                     _human_bytes(int(counters["soa.gather_bytes"]))])
     return rows
 
 

@@ -17,6 +17,8 @@ Keys must capture *every* input that influences the value:
 * partition sets: the full partitioner signature ``(scheme, length,
   num_groups, num_partitions, lfsr_degree, seed,
   num_interval_partitions)``
+* SoA gate schedules: ``(circuit name, structural digest)`` — the digest
+  hashes the compiled ops, so any netlist or compiler change misses
 
 The store **never evicts on its own** — workload counts are small (dozens
 per run) and values are shared, so the default policy is "keep

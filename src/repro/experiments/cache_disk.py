@@ -5,8 +5,8 @@ process, so CLI one-shots, CI jobs and ``repro serve`` cold starts pay the
 full netlist-compile + golden-sim + fault-sim cost every time.  This
 module adds a content-addressed disk tier under the directory named by
 ``REPRO_DISK_CACHE`` (unset = disabled): compiled workloads, partition
-tables and compactors are written once and re-read by any later process
-with the same configuration.
+tables, compactors and SoA gate schedules are written once and re-read
+by any later process with the same configuration.
 
 Entry format (one file per entry, ``<kind>-<digest>.rpdc``):
 
@@ -57,7 +57,9 @@ SCHEMA_VERSION = 1
 #: arrays come out aligned.
 ALIGN = 64
 #: Memo kinds worth persisting (small derived objects ride along free).
-DISK_KINDS = frozenset({"workload", "soc-workloads", "partitions", "compactor"})
+DISK_KINDS = frozenset(
+    {"workload", "soc-workloads", "partitions", "compactor", "soa-schedule"}
+)
 
 _SUFFIX = ".rpdc"
 _PREAMBLE = struct.Struct("<4sII")  # magic, format version, header length

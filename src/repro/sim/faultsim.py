@@ -196,8 +196,9 @@ class FaultSimulator:
         through the fault-batched cone kernel
         (:mod:`repro.sim.faultsim_batch`; ``batch=None`` reads
         ``REPRO_FAULT_BATCH``, 0 falls back to the per-fault event-driven
-        loop).  Results are bit-identical to the serial event-driven loop
-        either way.
+        loop), which itself evaluates cones with the level-group SoA
+        schedule unless ``REPRO_SOA=0``.  Results are bit-identical to
+        the serial event-driven loop whichever kernels are selected.
         """
         from .faultsim_batch import resolve_batch_size, simulate_faults_batched
         from .transport import RESPONSE_CODEC

@@ -24,8 +24,18 @@ of the block; lanes are completely independent:
   value after the gate is evaluated, mirroring how the event-driven path
   pins fault sites.
 
+Within a batch the cone itself is evaluated by one of two kernels:
+
+* the **level-group SoA kernel** (default, ``REPRO_SOA``): the circuit's
+  precompiled :mod:`repro.sim.soa` schedule is restricted to the union
+  cone and each cone level evaluates as a single numpy op over the whole
+  ``(lanes, gates, words)`` block — batching the gate axis on top of the
+  pattern and fault axes;
+* the **per-gate replay** (``REPRO_SOA=0``): the PR 4 loop over the
+  sorted cone, one ``(lanes, words)`` combine per gate.
+
 The result is bit-identical to :meth:`FaultSimulator.simulate_fault` per
-fault (``tests/test_perf_equivalence.py`` holds the two paths together);
+fault (``tests/test_perf_equivalence.py`` holds the paths together);
 the event-driven path remains both the fallback (``REPRO_FAULT_BATCH=0``)
 and the oracle.
 """
@@ -41,6 +51,7 @@ from ..parallel import parallel_map
 from ..telemetry import METRICS
 from .faults import Fault
 from .logicsim import _OP_AND, _OP_OR, _OP_XOR, _combine
+from .soa import _REDUCERS, soa_enabled, warn_env_once
 from .transport import RESPONSE_CODEC
 
 #: Default faults per batch; chosen so a (batch, words) block stays small
@@ -53,7 +64,8 @@ def resolve_batch_size(batch: Optional[int] = None) -> int:
 
     ``None`` reads ``REPRO_FAULT_BATCH``: unset/empty means the default,
     ``0`` disables batching (pure event-driven path), any other integer is
-    the batch size.  Returns 0 (disabled) or a batch size >= 2.
+    the batch size.  Unparseable values warn once (``REPRO_LOG``) and
+    fall back to the default.  Returns 0 (disabled) or a batch size >= 2.
     """
     if batch is None:
         raw = os.environ.get("REPRO_FAULT_BATCH", "").strip()
@@ -62,6 +74,10 @@ def resolve_batch_size(batch: Optional[int] = None) -> int:
         try:
             batch = int(raw)
         except ValueError:
+            warn_env_once(
+                "REPRO_FAULT_BATCH", raw,
+                f"using the default batch of {DEFAULT_BATCH}",
+            )
             return DEFAULT_BATCH
     if batch <= 0:
         return 0
@@ -83,25 +99,37 @@ def plan_batches(
     return [order[i:i + batch_size] for i in range(0, len(order), batch_size)]
 
 
-def simulate_batch(simulator, faults: Sequence[Fault]) -> List["FaultResponse"]:
+def simulate_batch(
+    simulator, faults: Sequence[Fault], soa: Optional[bool] = None
+) -> List["FaultResponse"]:
     """Error matrices for one batch of faults, aligned with ``faults``.
 
     Bit-identical to calling ``simulator.simulate_fault`` per fault.
+    ``soa`` selects the cone-evaluation kernel (``None`` defers to
+    ``REPRO_SOA``): the level-group SoA kernel evaluates each cone level
+    as one numpy op over the full ``(lanes, gates, words)`` block, the
+    per-gate fallback replays the compiled ops one gate at a time.
+    """
+    if soa_enabled(soa):
+        return _simulate_batch_soa(simulator, faults)
+    return _simulate_batch_pergate(simulator, faults)
+
+
+def _seed_lanes(simulator, faults: Sequence[Fault]):
+    """Per-lane fault-site seeding shared by both cone kernels.
+
+    Returns ``(seeds, stem_pins, pin_pins)``: one ``(site_idx, seeded
+    vector)`` per lane, plus the per-site pinning tables used to re-force
+    fault sites that sit inside another lane's cone.
     """
     compiled = simulator.compiled
     good = simulator.good.values
     mask = simulator._mask
     words = good.shape[1]
-    batch = len(faults)
 
-    # Per-net (batch, words) value blocks; nets absent from the map hold
-    # their fault-free value in every lane.
-    vals: Dict[int, np.ndarray] = {}
-    # Per-lane pinning of fault sites, applied after a site gate is
-    # re-evaluated inside the union cone.
     stem_pins: Dict[int, List[Tuple[int, np.ndarray]]] = {}
     pin_pins: Dict[int, List[Tuple[int, int, np.ndarray]]] = {}
-    seeds: List[int] = []
+    seeds: List[Tuple[int, np.ndarray]] = []
 
     zeros = np.zeros(words, dtype=np.uint64)
     for lane, fault in enumerate(faults):
@@ -117,26 +145,48 @@ def simulate_batch(simulator, faults: Sequence[Fault]) -> List["FaultResponse"]:
                 good, site_idx, fanin_pos, stuck_vec, mask
             )
             pin_pins.setdefault(site_idx, []).append((lane, fanin_pos, stuck_vec))
-        block = vals.get(site_idx)
-        if block is None:
-            block = np.empty((batch, words), dtype=np.uint64)
-            block[:] = good[site_idx]
-            vals[site_idx] = block
-        block[lane] = seeded
-        seeds.append(site_idx)
+        seeds.append((site_idx, seeded))
+    return seeds, stem_pins, pin_pins
 
-    # Union fanout cone of all seeds: every combinational gate reachable
-    # from any fault site.  Net indices are topological, so sorting the
-    # cone is a valid evaluation schedule.
+
+def _union_cone(simulator, seed_sites) -> set:
+    """Every combinational gate reachable from any fault site."""
     fanout = simulator._fanout
-    cone = set()
-    stack = list(set(seeds))
+    cone: set = set()
+    stack = list(set(seed_sites))
     while stack:
         net_idx = stack.pop()
         for succ in fanout.get(net_idx, ()):
             if succ not in cone:
                 cone.add(succ)
                 stack.append(succ)
+    return cone
+
+
+def _simulate_batch_pergate(simulator, faults: Sequence[Fault]) -> List["FaultResponse"]:
+    """The per-gate cone replay (PR 4) — the batched kernel's oracle."""
+    compiled = simulator.compiled
+    good = simulator.good.values
+    mask = simulator._mask
+    words = good.shape[1]
+    batch = len(faults)
+
+    seeds, stem_pins, pin_pins = _seed_lanes(simulator, faults)
+
+    # Per-net (batch, words) value blocks; nets absent from the map hold
+    # their fault-free value in every lane.
+    vals: Dict[int, np.ndarray] = {}
+    for lane, (site_idx, seeded) in enumerate(seeds):
+        block = vals.get(site_idx)
+        if block is None:
+            block = np.empty((batch, words), dtype=np.uint64)
+            block[:] = good[site_idx]
+            vals[site_idx] = block
+        block[lane] = seeded
+
+    # Net indices are topological, so sorting the union cone is a valid
+    # evaluation schedule.
+    cone = _union_cone(simulator, (site for site, _ in seeds))
     schedule = sorted(cone)
     METRICS.incr("faultsim.batches")
     METRICS.observe("faultsim.batch_cone_nets", len(schedule))
@@ -179,11 +229,131 @@ def simulate_batch(simulator, faults: Sequence[Fault]) -> List["FaultResponse"]:
     ]
 
 
+def _simulate_batch_soa(simulator, faults: Sequence[Fault]) -> List["FaultResponse"]:
+    """Level-group SoA evaluation of one fault batch.
+
+    The circuit's SoA schedule is restricted to the batch's union fanout
+    cone and every restricted level group is evaluated as **one** numpy
+    op over the whole ``(lanes, gates, words)`` block.  The block is
+    laid out rows-leading — ``(rows, lanes · words)`` — so each gather
+    and scatter is a leading-axis fancy index over contiguous per-row
+    lane planes, exactly the shape of the good-machine kernel with a
+    ``lanes``-times wider word axis.  To keep every gather inside the
+    block, its rows are the cone gates plus the fault sites plus every
+    fanin any cone gate reads; rows outside the cone hold fault-free
+    values in all lanes, which is exactly what per-gate replay reads for
+    them.  Per-lane fault-site pinning is applied at level boundaries —
+    every consumer of a level-``L`` site lives at a level ``> L``, so
+    the fixup lands before anyone reads the site.
+    """
+    compiled = simulator.compiled
+    schedule = compiled.soa_schedule()
+    good = simulator.good.values
+    mask = simulator._mask
+    words = good.shape[1]
+    batch = len(faults)
+
+    seeds, stem_pins, pin_pins = _seed_lanes(simulator, faults)
+    cone = _union_cone(simulator, (site for site, _ in seeds))
+    METRICS.incr("faultsim.batches")
+    METRICS.incr("faultsim.soa_batches")
+    METRICS.observe("faultsim.batch_cone_nets", len(cone))
+
+    # Restrict the schedule to the cone and collect the compact row set:
+    # outputs, their fanins, and the seed sites.
+    cone_mask = np.zeros(schedule.num_nets, dtype=bool)
+    if cone:
+        cone_mask[list(cone)] = True
+    seed_rows = np.array(sorted({site for site, _ in seeds}), dtype=np.int64)
+
+    restricted: List[Tuple[int, int, int, np.ndarray, np.ndarray, np.ndarray]] = []
+    row_parts = [seed_rows]
+    slots = 0
+    for grp in schedule.groups:
+        sel = cone_mask[grp.out_rows]
+        if not sel.any():
+            continue
+        out = grp.out_rows[sel]
+        fan = grp.fanins[sel]
+        restricted.append((grp.level, grp.op, grp.arity, out, fan, grp.inv[sel]))
+        row_parts.append(out)
+        row_parts.append(fan.ravel())
+        slots += fan.size
+    rows = np.unique(np.concatenate(row_parts))
+    compact = np.full(schedule.num_nets, -1, dtype=np.int64)
+    compact[rows] = np.arange(len(rows), dtype=np.int64)
+
+    # The value block: row r holds net rows[r]'s (lanes, words) plane,
+    # flattened — fault-free in every lane, then each lane's fault site
+    # seeded.  ``lane_mask`` is the pattern mask tiled across lanes.
+    block = np.empty((len(rows), batch, words), dtype=np.uint64)
+    block[:] = good[rows][:, None, :]
+    for lane, (site_idx, seeded) in enumerate(seeds):
+        block[compact[site_idx], lane] = seeded
+    flat = block.reshape(len(rows), batch * words)
+    lane_mask = np.tile(mask, batch)
+
+    # Fault sites inside the cone get re-evaluated by their own level
+    # group; schedule their per-lane re-pinning at that level's boundary.
+    pins_by_level: Dict[int, List[int]] = {}
+    for site_idx in set(stem_pins) | set(pin_pins):
+        if cone_mask[site_idx]:
+            pins_by_level.setdefault(
+                int(schedule.level_of[site_idx]), []
+            ).append(site_idx)
+
+    idx = 0
+    while idx < len(restricted):
+        level = restricted[idx][0]
+        while idx < len(restricted) and restricted[idx][0] == level:
+            _level, op, arity, out, fan, inv = restricted[idx]
+            idx += 1
+            cfan = compact[fan]
+            if arity == 1:
+                acc = flat[cfan[:, 0]]
+            else:
+                acc = _REDUCERS[op].reduce(flat[cfan], axis=1)
+            acc ^= inv[:, None]
+            acc &= lane_mask
+            flat[compact[out]] = acc
+        for site_idx in pins_by_level.get(level, ()):
+            crow = compact[site_idx]
+            for lane, stuck_vec in stem_pins.get(site_idx, ()):
+                block[crow, lane] = stuck_vec
+            for lane, fanin_pos, stuck_vec in pin_pins.get(site_idx, ()):
+                _out, op, invert, fanins = compiled.gate_op(site_idx)
+                lane_ops = [
+                    stuck_vec if pos == fanin_pos else block[compact[src], lane]
+                    for pos, src in enumerate(fanins)
+                ]
+                block[crow, lane] = _combine(lane_ops, op, invert, mask)
+    METRICS.incr("soa.gather_bytes", slots * words * 8 * batch)
+
+    # Collect captured errors at scan cells, per lane.  Iteration is
+    # sorted so response construction order is deterministic.
+    capture_cells = simulator._capture_cells
+    per_lane: List[Dict[int, np.ndarray]] = [{} for _ in range(batch)]
+    for net_idx in sorted(cone.union(site for site, _ in seeds)):
+        cells = capture_cells.get(net_idx)
+        if not cells:
+            continue
+        diff = (block[compact[net_idx]] ^ good[net_idx]) & mask
+        for lane in np.nonzero(diff.any(axis=1))[0]:
+            row = diff[lane]
+            for cell_pos in cells:
+                per_lane[int(lane)][cell_pos] = row.copy()
+    return [
+        simulator._response(fault, per_lane[lane])
+        for lane, fault in enumerate(faults)
+    ]
+
+
 def simulate_faults_batched(
     simulator,
     faults: Sequence[Fault],
     batch_size: int,
     workers: Optional[int] = None,
+    soa: Optional[bool] = None,
 ) -> List["FaultResponse"]:
     """Fault-batched population simulation, results in input order.
 
@@ -196,8 +366,16 @@ def simulate_faults_batched(
     batches = plan_batches(simulator, faults, batch_size)
     METRICS.incr("faultsim.batched_faults", len(faults))
 
+    use_soa = soa_enabled(soa)
+    if use_soa:
+        # Build (or load) the schedule once in the parent so forked
+        # workers inherit it instead of racing to rebuild it per fork.
+        simulator.compiled.soa_schedule()
+
     def run_batch(k: int) -> List["FaultResponse"]:
-        return simulate_batch(simulator, [faults[i] for i in batches[k]])
+        return simulate_batch(
+            simulator, [faults[i] for i in batches[k]], soa=use_soa
+        )
 
     # Each batch is a heavy work item (a whole cone re-evaluation for up
     # to ``batch_size`` faults), so forking pays off at far fewer items

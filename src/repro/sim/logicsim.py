@@ -11,12 +11,13 @@ responses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuit.levelize import topological_order
 from ..circuit.netlist import GateType, Netlist
+from ..telemetry import METRICS
 from .bitops import num_words, pattern_mask
 
 # Opcodes for the compiled evaluation loop.
@@ -101,6 +102,9 @@ class CompiledCircuit:
         self._ops_by_net: Dict[int, Tuple[int, int, bool, Tuple[int, ...]]] = {
             entry[0]: entry for entry in ops
         }
+        # Lazily built level-group schedule (repro.sim.soa); None until
+        # the first SoA-path simulation asks for it.
+        self._soa_schedule = None
 
     # -- properties --------------------------------------------------------
 
@@ -118,17 +122,29 @@ class CompiledCircuit:
 
     # -- simulation ---------------------------------------------------------
 
+    def soa_schedule(self):
+        """The circuit's level-group schedule (built once, then cached on
+        the instance; shared builds go through the workload cache)."""
+        if self._soa_schedule is None:
+            from .soa import schedule_for
+
+            self._soa_schedule = schedule_for(self)
+        return self._soa_schedule
+
     def simulate(
         self,
         pi_values: np.ndarray,
         ff_values: np.ndarray,
         num_patterns: int,
+        soa: Optional[bool] = None,
     ) -> SimResult:
         """Evaluate all patterns.
 
         ``pi_values`` has shape ``(n_pi, words)`` and ``ff_values``
         ``(n_ff, words)`` — the values scanned into the cells before the
-        capture cycle.
+        capture cycle.  ``soa`` selects the gate-evaluation kernel:
+        ``None`` defers to ``REPRO_SOA`` (default on), ``False`` forces
+        the per-gate oracle loop.  Both kernels are bit-identical.
         """
         words = num_words(num_patterns)
         if pi_values.shape != (len(self.pi_rows), words):
@@ -139,12 +155,19 @@ class CompiledCircuit:
             raise ValueError(
                 f"ff_values shape {ff_values.shape} != ({len(self.ff_rows)}, {words})"
             )
+        from .soa import soa_enabled
+
         mask = pattern_mask(num_patterns)
         values = np.zeros((self.num_nets, words), dtype=np.uint64)
         values[self.pi_rows] = pi_values & mask
         values[self.ff_rows] = ff_values & mask
-        for out_idx, op, invert, fanins in self._ops:
-            values[out_idx] = _eval_gate(values, op, invert, fanins, mask)
+        if soa_enabled(soa) and self._ops:
+            self.soa_schedule().run(values, mask)
+            METRICS.incr("logicsim.sims", labels={"kernel": "soa"})
+        else:
+            for out_idx, op, invert, fanins in self._ops:
+                values[out_idx] = _eval_gate(values, op, invert, fanins, mask)
+            METRICS.incr("logicsim.sims", labels={"kernel": "per-gate"})
         return SimResult(self, values, num_patterns)
 
     def evaluate_net(
@@ -190,18 +213,30 @@ def _eval_gate(
 def _combine(
     operands: Sequence[np.ndarray], op: int, invert: bool, mask: np.ndarray
 ) -> np.ndarray:
-    acc = operands[0].copy()
+    first = operands[0]
+    if len(operands) == 1:
+        # BUF/NOT (and degenerate single-input gates): ``~x & mask`` /
+        # ``x & mask`` directly — no copy-then-mutate round trip.
+        if invert:
+            acc = np.invert(first)
+            acc &= mask
+            return acc
+        return first & mask
+    # Multi-operand: the first binary op allocates the fresh result, the
+    # rest accumulate in place.
     if op == _OP_AND:
-        for other in operands[1:]:
+        acc = first & operands[1]
+        for other in operands[2:]:
             acc &= other
     elif op == _OP_OR:
-        for other in operands[1:]:
+        acc = first | operands[1]
+        for other in operands[2:]:
             acc |= other
-    elif op == _OP_XOR:
-        for other in operands[1:]:
+    else:  # _OP_XOR (BUF is always single-operand)
+        acc = first ^ operands[1]
+        for other in operands[2:]:
             acc ^= other
-    # _OP_BUF: single operand, nothing to combine.
     if invert:
-        acc = ~acc
+        np.invert(acc, out=acc)
     acc &= mask
     return acc

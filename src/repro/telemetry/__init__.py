@@ -24,6 +24,7 @@ from .export import (
     build_manifest,
     config_hash,
     git_sha,
+    kernel_selection,
     print_span_tree,
     read_trace_jsonl,
     render_span_tree,
@@ -64,6 +65,7 @@ __all__ = [
     "disable_tracing",
     "enable_tracing",
     "git_sha",
+    "kernel_selection",
     "log",
     "log_level",
     "metric_key",

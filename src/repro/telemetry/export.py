@@ -31,12 +31,16 @@ from .tracer import Span, TRACER
 #: Environment knobs recorded in every manifest (missing ones read "").
 ENV_KNOBS = (
     "REPRO_CACHE",
+    "REPRO_DISK_CACHE",
     "REPRO_WORKERS",
     "REPRO_TRACE",
     "REPRO_LOG",
     "REPRO_FAULTS",
     "REPRO_FAULTS_LARGE",
     "REPRO_SCALE",
+    "REPRO_SOA",
+    "REPRO_FAULT_BATCH",
+    "REPRO_SHM",
     "REPRO_SERVE_PORT",
     "REPRO_BATCH_MAX",
     "REPRO_BATCH_WAIT_MS",
@@ -44,7 +48,8 @@ ENV_KNOBS = (
 )
 
 MANIFEST_SCHEMA_NAME = "repro-run-manifest"
-MANIFEST_SCHEMA_VERSION = 1
+#: v2 adds the required ``kernels`` kernel-selection record.
+MANIFEST_SCHEMA_VERSION = 2
 
 #: Required manifest keys and the types their values must satisfy.  A
 #: deliberately small, dependency-free schema: ``validate_manifest``
@@ -58,8 +63,16 @@ MANIFEST_SCHEMA: Dict[str, Any] = {
     "config_hash": (str, type(None)),
     "seed": (int, type(None)),
     "env": dict,
+    "kernels": dict,
     "metrics": dict,
     "span_rollup": list,
+}
+
+#: Required kernel-selection fields inside ``manifest["kernels"]`` — the
+#: record auditors use to tell which code paths produced a run's numbers.
+_KERNELS_SCHEMA: Dict[str, Any] = {
+    "gate_eval": str,
+    "fault_sim": str,
 }
 
 _RUN_SCHEMA: Dict[str, Any] = {
@@ -200,6 +213,25 @@ def config_hash(config: Any) -> Optional[str]:
     return hashlib.sha256(blob).hexdigest()[:16]
 
 
+def kernel_selection() -> Dict[str, Any]:
+    """Which hot-path kernels the current environment selects.
+
+    Resolved through the same functions the simulators use, so the
+    manifest records what actually ran, not a copy of the env strings.
+    The import is deferred: the sim stack imports telemetry at module
+    load.
+    """
+    from ..sim.faultsim_batch import resolve_batch_size
+    from ..sim.soa import soa_enabled
+
+    batch = resolve_batch_size()
+    return {
+        "gate_eval": "soa" if soa_enabled() else "per-gate",
+        "fault_sim": "batched" if batch else "event-driven",
+        "fault_batch": batch,
+    }
+
+
 def build_manifest(
     config: Any = None,
     seed: Optional[int] = None,
@@ -221,6 +253,7 @@ def build_manifest(
         "config_hash": config_hash(config),
         "seed": seed,
         "env": {knob: os.environ.get(knob, "") for knob in ENV_KNOBS},
+        "kernels": kernel_selection(),
         "metrics": METRICS.snapshot(),
         "span_rollup": span_rollup(spans),
     }
@@ -253,6 +286,7 @@ def validate_manifest(manifest: Any) -> List[str]:
             f"supported {MANIFEST_SCHEMA_VERSION}"
         )
     _check_fields(manifest["run"], _RUN_SCHEMA, "run.", errors)
+    _check_fields(manifest["kernels"], _KERNELS_SCHEMA, "kernels.", errors)
     for section in ("counters", "gauges", "histograms"):
         if not isinstance(manifest["metrics"].get(section), dict):
             errors.append(f"metrics.{section}: missing or not an object")

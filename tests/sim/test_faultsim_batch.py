@@ -61,6 +61,19 @@ class TestResolveBatchSize:
         monkeypatch.setenv("REPRO_FAULT_BATCH", "banana")
         assert resolve_batch_size() == DEFAULT_BATCH
 
+    def test_garbage_env_warns_once(self, monkeypatch, capsys):
+        from repro.sim import soa
+
+        monkeypatch.setenv("REPRO_LOG", "info")
+        monkeypatch.setenv("REPRO_FAULT_BATCH", "banana")
+        monkeypatch.setattr(soa, "_WARNED_ENV", set())
+        assert resolve_batch_size() == DEFAULT_BATCH
+        err = capsys.readouterr().err
+        assert "REPRO_FAULT_BATCH" in err and "'banana'" in err
+        # The warning names the bad value exactly once per process.
+        assert resolve_batch_size() == DEFAULT_BATCH
+        assert capsys.readouterr().err == ""
+
     def test_batch_of_one_rounds_up(self):
         # A 1-fault "batch" would be pure overhead; the kernel floor is 2.
         assert resolve_batch_size(1) == 2

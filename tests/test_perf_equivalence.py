@@ -273,6 +273,33 @@ class TestFaultBatchedEvaluation:
                 np.testing.assert_array_equal(a.cell_errors[cell], b.cell_errors[cell])
 
 
+class TestSoAEvaluation:
+    """The SoA gate-eval kernel (PR 6) is a pure optimization as well:
+    end-to-end DR and candidate sets must match the per-gate path."""
+
+    def setup_method(self):
+        clear_caches()
+
+    def teardown_method(self):
+        clear_caches()
+
+    def test_evaluate_scheme_soa_vs_pergate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOA", "0")
+        clear_caches()
+        per_gate = evaluate_scheme(
+            build_circuit_workload("s953", TINY), "two-step", 3, 4, TINY, workers=0
+        )
+        monkeypatch.setenv("REPRO_SOA", "1")
+        clear_caches()
+        via_soa = evaluate_scheme(
+            build_circuit_workload("s953", TINY), "two-step", 3, 4, TINY, workers=0
+        )
+        assert per_gate.dr == via_soa.dr
+        for a, b in zip(per_gate.results, via_soa.results):
+            assert a.candidate_cells == b.candidate_cells
+            assert a.candidate_history == b.candidate_history
+
+
 class TestDiskCacheEquivalence:
     """Values served from the persistent disk tier must be bit-identical
     to freshly built ones, end to end."""
