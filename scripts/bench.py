@@ -1,6 +1,6 @@
 #!/usr/bin/env python
 """Performance-trajectory harness: times the pipeline's hot stages and
-writes a machine-readable ``BENCH_PR6.json`` so future PRs can track the
+writes a machine-readable ``BENCH_PR7.json`` so future PRs can track the
 perf trajectory.
 
 Stages, per benchmark circuit:
@@ -31,6 +31,10 @@ Stages, per benchmark circuit:
   warm-from-disk.
 * ``evaluate_warm_s`` — end-to-end scheme evaluation (workload build +
   diagnose, cache warm) with the vectorized kernels.
+* ``evaluate_profiled_s`` — the same warm evaluation with a private
+  sampling profiler (PR 7) running at the default 97 Hz;
+  ``profile_overhead_pct`` is the relative cost (budget: <=5%) and
+  ``profile_samples`` the stacks collected while measuring it.
 * ``seed_evaluate_s`` — the same evaluation through the *seed* code path:
   per-bit event extraction and the scalar per-event session loop, no
   cache.  ``end_to_end_speedup`` is the ratio; the two paths must agree on
@@ -41,13 +45,13 @@ path).  A separate traced pass afterwards collects the span rollup and
 metric totals that are embedded under ``"telemetry"`` — so the report
 carries both the wall-clock trajectory and where the time went.
 
-The previous trajectory file (``--prev``, default ``BENCH_PR4.json`` — the
-last PR whose report predates the SoA kernel) is optional: when
+The previous trajectory file (``--prev``, default ``BENCH_PR6.json``) is
+optional: when
 present, per-circuit wall-clock and per-stage telemetry deltas are
 recorded under ``"deltas_vs_prev"``; when absent the report simply omits
 them.
 
-``--check BENCH_PR6.json`` turns the harness into a CI gate: after the
+``--check BENCH_PR7.json`` turns the harness into a CI gate: after the
 run it compares this machine's ``fault_batch_speedup`` and
 ``soa_speedup`` per circuit against the committed report and exits 1 if
 either regressed by more than ``--tolerance`` (default 0.25) on any
@@ -56,9 +60,9 @@ absolute-speed differences between CI runners and the machine that
 produced the committed report.
 
 Run:  PYTHONPATH=src python scripts/bench.py [--circuits s953 s5378]
-      [--faults N] [--partitions N] [--out BENCH_PR6.json]
-      [--prev BENCH_PR4.json] [--quick]
-      [--check BENCH_PR6.json --tolerance 0.25]
+      [--faults N] [--partitions N] [--out BENCH_PR7.json]
+      [--prev BENCH_PR6.json] [--quick]
+      [--check BENCH_PR7.json --tolerance 0.25]
 """
 
 import argparse
@@ -90,10 +94,10 @@ from repro.sim.bitops import WORD_BITS
 from repro.sim.faults import collapse_faults
 from repro.sim.faultsim import FaultSimulator
 from repro.soc.core_wrapper import EmbeddedCore, _name_seed
-from repro.telemetry import METRICS, log
+from repro.telemetry import METRICS, SamplingProfiler, log
 
 NUM_GROUPS = 4
-PR_NUMBER = 6
+PR_NUMBER = 7
 
 
 def seed_collect_events(response, scan_config):
@@ -269,6 +273,29 @@ def bench_circuit(name, config, num_partitions, repeats=3, fault_cap=400):
         ),
     )
     timings["dr"] = evaluation.dr
+
+    # Sampling-profiler overhead: the identical warm evaluation with a
+    # *private* sampler running at the default 97 Hz — private so the
+    # process-wide PROFILER (and any manifest written later) never sees
+    # these samples.  Budget: <=5% over the unprofiled pass; jitter can
+    # make the min-over-repeats estimate mildly negative.
+    profiler = SamplingProfiler(hz=97)
+    profiler.start()
+    try:
+        timings["evaluate_profiled_s"], _ = best_of(
+            3,
+            lambda: evaluate_scheme(
+                workload, "two-step", num_partitions, NUM_GROUPS, config
+            ),
+        )
+    finally:
+        profiler.stop()
+    timings["profile_samples"] = profiler.data.total
+    timings["profile_overhead_pct"] = (
+        (timings["evaluate_profiled_s"] - timings["evaluate_warm_s"])
+        / timings["evaluate_warm_s"] * 100.0
+        if timings["evaluate_warm_s"] else None
+    )
 
     # The same evaluation through the seed code path (no cache, scalar
     # kernels).  The compactor is built inside the timed region: the seed
@@ -481,7 +508,7 @@ def main():
     parser.add_argument("--patterns", type=int, default=128)
     parser.add_argument("--partitions", type=int, default=8)
     parser.add_argument("--out", default=f"BENCH_PR{PR_NUMBER}.json")
-    parser.add_argument("--prev", default="BENCH_PR4.json",
+    parser.add_argument("--prev", default="BENCH_PR6.json",
                         help="previous trajectory file for deltas "
                         "(missing is fine)")
     parser.add_argument("--quick", action="store_true",
@@ -540,6 +567,8 @@ def main():
             f" | serve cold {timings['serve_coldstart_cold_s']:.3f}s"
             f" vs disk-warm {timings['serve_coldstart_disk_warm_s']:.3f}s"
             f" | end-to-end speedup {timings['end_to_end_speedup']:.1f}x"
+            f" | profile overhead {timings['profile_overhead_pct']:+.1f}%"
+            f" ({timings['profile_samples']} samples)"
         )
     log("collecting traced rollup ...")
     report["telemetry"] = traced_rollup(args.circuits, config, args.partitions)

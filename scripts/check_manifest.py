@@ -31,6 +31,9 @@ def main(argv=None):
                         metavar="NAME",
                         help="require a counter with this name (label-"
                         "insensitive prefix match); repeatable")
+    parser.add_argument("--require-profile", action="store_true",
+                        help="require an enabled profile record with at "
+                        "least one sample (profiled smoke runs)")
     args = parser.parse_args(argv)
 
     path = Path(args.path)
@@ -64,6 +67,13 @@ def main(argv=None):
             value = kernels.get(field)
             if not isinstance(value, str) or not value:
                 errors.append(f"kernels.{field}: missing or empty")
+    if args.require_profile:
+        profile = manifest.get("profile")
+        if not isinstance(profile, dict) or not profile.get("enabled"):
+            errors.append("profile: run was not profiled "
+                          "(--require-profile)")
+        elif not profile.get("samples"):
+            errors.append("profile: profiler ran but collected 0 samples")
     if errors:
         print(f"{path}: INVALID", file=sys.stderr)
         for error in errors:
@@ -73,7 +83,27 @@ def main(argv=None):
     print(f"{path}: valid {manifest['schema']} "
           f"v{manifest['schema_version']} ({len(stages)} stages, "
           f"{len(counters)} counters; {selected})")
+    print(_profile_summary(manifest.get("profile")))
     return 0
+
+
+def _profile_summary(profile):
+    """One line about the v3 ``profile`` record (tolerates v2 manifests)."""
+    if not isinstance(profile, dict):
+        return "profile: none (schema v2 manifest)"
+    if not profile.get("enabled"):
+        return "profile: disabled"
+    spans = profile.get("spans") or []
+    hottest = ""
+    if spans and spans[0].get("functions"):
+        top = spans[0]
+        hottest = (f"; hottest {top['span']}: "
+                   f"{top['functions'][0]['function']} "
+                   f"({top['functions'][0]['self']} self samples)")
+    return (f"profile: {profile.get('samples', 0)} samples "
+            f"@ {profile.get('hz', '?')} Hz ({profile.get('mode', '?')} "
+            f"mode, {profile.get('dropped', 0)} dropped, "
+            f"{len(spans)} spans{hottest})")
 
 
 if __name__ == "__main__":

@@ -7,7 +7,8 @@ Four entry points (also runnable as ``python -m repro.cli``):
 * ``repro-experiment`` — regenerate one of the paper's tables or figures
   (or an ablation / extension) by name; ``--trace`` additionally prints
   the span tree, writes a ``trace.jsonl`` span log and a ``manifest.json``
-  run manifest.
+  run manifest; ``--profile`` runs the sampling profiler and writes a
+  flamegraph-ready ``profile.folded``.
 * ``repro-serve`` / ``python -m repro.cli serve`` — long-lived batching
   diagnosis server (:mod:`repro.service`): POST /diagnose, GET /healthz,
   GET /metrics; knobs via ``REPRO_SERVE_PORT``, ``REPRO_BATCH_MAX``,
@@ -158,46 +159,82 @@ def experiment_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("name", choices=sorted(EXPERIMENT_RUNNERS) + ["all"])
     parser.add_argument("--faults", type=int, default=None,
                         help="override the fault sample size")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized fault sample (smoke runs; --faults "
+                        "wins when both are given)")
     parser.add_argument("--trace", action="store_true",
                         help="enable tracing (as REPRO_TRACE=1), print the "
                         "span tree to stderr and write trace/manifest files")
+    parser.add_argument("--profile", action="store_true",
+                        help="enable the sampling profiler (as "
+                        "REPRO_PROFILE=1, rate REPRO_PROFILE_HZ) and write "
+                        "a flamegraph-ready collapsed-stack file")
     parser.add_argument("--manifest", default=None, metavar="PATH",
                         help="run-manifest path (default manifest.json when "
                         "tracing)")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="JSONL span-log path (default trace.jsonl when "
                         "tracing)")
+    parser.add_argument("--profile-out", default=None, metavar="PATH",
+                        help="collapsed-stack profile path (default "
+                        "profile.folded when profiling)")
     args = parser.parse_args(argv)
 
     if args.trace:
         telemetry.enable_tracing()
     tracing = telemetry.trace_enabled()
+    profiling = args.profile or telemetry.profile_enabled()
+    if profiling:
+        # Re-resolve REPRO_PROFILE_HZ here rather than trusting the rate
+        # captured when the module was imported.
+        mode = telemetry.enable_profiling(telemetry.resolve_profile_hz())
+        telemetry.log(f"profiling via {mode} sampler at "
+                      f"{telemetry.PROFILER.hz} Hz")
     overrides = {}
     if args.faults is not None:
         overrides = {"num_faults": args.faults, "num_faults_large": args.faults}
+    elif args.quick:
+        overrides = {"num_faults": 10, "num_faults_large": 5}
     config = default_config(**overrides)
     names = sorted(EXPERIMENT_RUNNERS) if args.name == "all" else [args.name]
-    for name in names:
-        telemetry.log(f"running {name} ...")
-        with telemetry.span(f"experiment:{name}"):
-            result = EXPERIMENT_RUNNERS[name](config)
-        print(result.render())
-        print()
+    try:
+        for name in names:
+            telemetry.log(f"running {name} ...")
+            with telemetry.span(f"experiment:{name}"):
+                result = EXPERIMENT_RUNNERS[name](config)
+            print(result.render())
+            print()
+    finally:
+        if profiling:
+            telemetry.disable_profiling()
+    profile_path: Optional[Path] = None
+    if profiling:
+        profile_path = telemetry.write_profile_folded(
+            Path(args.profile_out or "profile.folded"))
+        telemetry.log(
+            f"wrote {profile_path} "
+            f"({telemetry.PROFILER.data.total} samples; render with "
+            f"flamegraph.pl or speedscope)")
     if tracing:
-        _export_run_telemetry(args, config)
+        _export_run_telemetry(args, config, profile_path)
     return 0
 
 
-def _export_run_telemetry(args: Any, config: Any) -> None:
+def _export_run_telemetry(
+    args: Any, config: Any, profile_path: Optional[Path] = None
+) -> None:
     """Dump the span tree to stderr and write trace.jsonl + manifest.json
     next to the experiment output (cwd unless overridden)."""
     telemetry.print_span_tree()
     trace_path = Path(args.trace_out or "trace.jsonl")
     telemetry.write_trace_jsonl(trace_path)
+    extra: Dict[str, Any] = {"trace_file": str(trace_path)}
+    if profile_path is not None:
+        extra["profile_file"] = str(profile_path)
     manifest = telemetry.build_manifest(
         config=config,
         seed=getattr(config, "fault_seed", None),
-        extra={"trace_file": str(trace_path)},
+        extra=extra,
     )
     manifest_path = Path(args.manifest or "manifest.json")
     telemetry.write_manifest(manifest_path, manifest)
@@ -236,7 +273,7 @@ def stats_main(argv: Optional[List[str]] = None) -> int:
         print(f"no such file: {path}", file=sys.stderr)
         return 2
     try:
-        rollup, metrics = _load_telemetry(path)
+        rollup, metrics, profile = _load_telemetry(path)
     except TelemetryFileError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -281,7 +318,34 @@ def stats_main(argv: Optional[List[str]] = None) -> int:
         if pool_rows:
             print()
             print(render_table("Worker pool", ["metric", "value"], pool_rows))
+    if profile and profile.get("enabled") and profile.get("spans"):
+        _print_profile_tables(profile, render_table)
     return 0
+
+
+def _print_profile_tables(profile: Dict[str, Any], render_table) -> None:
+    """Per-span hot-function tables from the manifest ``profile`` record
+    (sampling-profiler self/cumulative sample counts)."""
+    total = max(1, int(profile.get("samples") or 1))
+    for entry in profile["spans"]:
+        span_samples = int(entry.get("samples", 0))
+        rows = [
+            [
+                fn["function"], int(fn["self"]),
+                f"{fn['self'] / total:.1%}", int(fn["cum"]),
+            ]
+            for fn in entry.get("functions", [])
+        ]
+        if not rows:
+            continue
+        print()
+        print(render_table(
+            f"Profile: {entry.get('span', '(no span)')} "
+            f"({span_samples} samples @ {profile.get('hz', '?')} Hz, "
+            f"{profile.get('mode', '?')} mode)",
+            ["function", "self", "self %", "cum"],
+            rows,
+        ))
 
 
 def _disk_cache_summary(raw_dir: str, render_table) -> int:
@@ -332,10 +396,14 @@ class TelemetryFileError(Exception):
 
 
 def _load_telemetry(path: Path):
-    """(span rollup, metrics-or-None) from a manifest or a JSONL trace.
+    """(span rollup, metrics-or-None, profile-or-None) from a manifest or
+    a JSONL trace.
 
     Raises :class:`TelemetryFileError` for empty or truncated files — a
-    crashed or killed traced run leaves exactly those behind.
+    crashed or killed traced run leaves exactly those behind — and for
+    manifests that record spans but no ``metrics`` section (a partial
+    export the summaries below would silently misreport as "no cache /
+    pool / kernel activity").
     """
     if path.stat().st_size == 0:
         raise TelemetryFileError(
@@ -347,7 +415,7 @@ def _load_telemetry(path: Path):
             raise TelemetryFileError(
                 f"{path} is not a valid span log (truncated or corrupt "
                 f"line?): {exc}") from exc
-        return telemetry.span_rollup(spans), None
+        return telemetry.span_rollup(spans), None, None
     try:
         manifest = json.loads(path.read_text())
     except json.JSONDecodeError as exc:
@@ -362,7 +430,15 @@ def _load_telemetry(path: Path):
         print(f"warning: {path} fails manifest schema:", file=sys.stderr)
         for error in errors:
             print(f"  - {error}", file=sys.stderr)
-    return manifest.get("span_rollup", []), manifest.get("metrics")
+    rollup = manifest.get("span_rollup", [])
+    metrics = manifest.get("metrics")
+    if rollup and not isinstance(metrics, dict):
+        raise TelemetryFileError(
+            f"{path} records {len(rollup)} span(s) but no metrics section "
+            "(partial or hand-edited manifest?); re-run with --trace to "
+            "regenerate it")
+    profile = manifest.get("profile")
+    return rollup, metrics, profile if isinstance(profile, dict) else None
 
 
 def _cache_summary(metrics: Dict[str, Any]) -> List[list]:

@@ -34,7 +34,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
-from .telemetry import METRICS, TRACER, span
+from .telemetry import METRICS, PROFILER, TRACER, span
 
 #: Populations smaller than this never fork (the pool costs more than it saves).
 MIN_PARALLEL_ITEMS = 8
@@ -100,6 +100,12 @@ def _run_chunk(indices: Sequence[int]) -> Tuple[List[Any], Dict[str, Any]]:
     """
     assert _ACTIVE_TASK is not None, "worker forked outside parallel_map"
     before = METRICS.snapshot()
+    # A parent that was profiling at fork time needs its sampler restarted
+    # here (interval timers and sampler threads die with the fork); the
+    # chunk's sample delta rides back with the metric delta below.
+    profile_before = (
+        PROFILER.data.snapshot() if PROFILER.resume_after_fork() else None
+    )
     started = time.perf_counter()
     if TRACER.enabled:
         with TRACER.capture() as worker_spans:
@@ -116,6 +122,8 @@ def _run_chunk(indices: Sequence[int]) -> Tuple[List[Any], Dict[str, Any]]:
         "metrics": METRICS.diff(before),
         "spans": span_dicts,
     }
+    if profile_before is not None:
+        payload["profile"] = PROFILER.data.diff(profile_before)
     if _ACTIVE_CODEC is not None:
         results = _ACTIVE_CODEC.encode(results)
         if _ACTIVE_CODEC.nbytes is not None:
@@ -150,6 +158,7 @@ def _absorb_payloads(payloads: Sequence[Dict[str, Any]], wall_s: float) -> None:
     for payload in payloads:
         METRICS.merge(payload.get("metrics"))
         TRACER.adopt(payload.get("spans", []))
+        PROFILER.data.merge(payload.get("profile"))
         pid = payload.get("pid")
         if pid not in worker_index:
             # Stable worker labels (pids vary run to run, enumeration

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Smallest resolvable latency (seconds); anything below lands in bucket 0.
 _FLOOR_S = 1e-4
@@ -93,6 +93,27 @@ class LatencyHistogram:
             out[f"p{int(q * 100)}_ms"] = round(value * 1000, 3) if value else 0.0
         return out
 
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound_seconds, cumulative_count)`` for every occupied
+        bucket, in ascending bound order — the exact shape the Prometheus
+        histogram exposition (``_bucket{le=...}``) consumes.  Empty
+        buckets are elided; the renderer closes the series with ``+Inf``
+        at the total count."""
+        with self._lock:
+            counts = list(self._buckets)
+        out: List[Tuple[float, int]] = []
+        cum = 0
+        for index, n in enumerate(counts):
+            if n:
+                cum += n
+                out.append((_bucket_upper_s(index), cum))
+        return out
+
+    def totals(self) -> Tuple[float, int]:
+        """``(sum_seconds, count)`` under one lock acquisition."""
+        with self._lock:
+            return self._sum, self._count
+
     def reset(self) -> None:
         with self._lock:
             self._buckets = [0] * _NUM_BUCKETS
@@ -117,6 +138,16 @@ class LatencyBoard:
 
     def summary(self) -> Dict[str, Dict[str, float]]:
         return {name: hist.summary() for name, hist in sorted(self._hists.items())}
+
+    def prometheus_series(self) -> Tuple[
+        Dict[str, List[Tuple[float, int]]], Dict[str, Tuple[float, int]]
+    ]:
+        """Bucket and total series per stage, ready for
+        :func:`repro.telemetry.promexp.render_prometheus`."""
+        buckets = {name: hist.cumulative_buckets()
+                   for name, hist in self._hists.items()}
+        totals = {name: hist.totals() for name, hist in self._hists.items()}
+        return buckets, totals
 
     def reset(self) -> None:
         for hist in self._hists.values():

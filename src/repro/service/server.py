@@ -19,8 +19,12 @@ Endpoints:
 * ``POST /diagnose`` — one diagnosis request (protocol.py), JSON in/out.
 * ``GET /healthz``   — liveness/readiness: 200 ``ok`` or 503 ``draining``.
 * ``GET /metrics``   — JSON snapshot: queue depth, batch sizes,
-  p50/p95/p99 latency, per-code request counts, cache footprint, plus the
-  full :data:`repro.telemetry.METRICS` registry.
+  p50/p95/p99 latency, per-code request counts, cache footprint, process
+  health (``uptime_seconds``, ``process_rss_bytes``), plus the full
+  :data:`repro.telemetry.METRICS` registry.  ``?format=prometheus`` or
+  ``Accept: text/plain`` selects the Prometheus text exposition
+  (:mod:`repro.telemetry.promexp`) instead — counters, gauges, and the
+  latency board as real ``_bucket``/``_sum``/``_count`` histograms.
 
 Knobs (constructor arguments; the CLI maps env vars onto them):
 ``REPRO_SERVE_PORT``, ``REPRO_BATCH_MAX``, ``REPRO_BATCH_WAIT_MS``,
@@ -42,10 +46,16 @@ import sys
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
+from urllib.parse import parse_qs
 
 from ..experiments import cache
-from ..telemetry import METRICS, log
+from ..telemetry import (
+    METRICS,
+    PROMETHEUS_CONTENT_TYPE,
+    log,
+    render_prometheus,
+)
 from .batching import BatchQueue, PendingRequest
 from .engine import DiagnosisEngine
 from .latency import LatencyBoard
@@ -71,6 +81,33 @@ def _env_int(name: str, default: int) -> int:
 def _env_float(name: str, default: float) -> float:
     raw = os.environ.get(name, "").strip()
     return float(raw) if raw else default
+
+
+def process_rss_bytes() -> Optional[int]:
+    """Resident set size of this process, stdlib only.
+
+    ``/proc/self/statm`` (Linux) gives current residency; the
+    ``resource`` fallback reports peak residency (``ru_maxrss`` — KiB on
+    Linux, bytes on macOS), which is close enough for a gauge whose job
+    is spotting leaks.  None when neither source exists.
+    """
+    try:
+        with open("/proc/self/statm") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return peak if sys.platform == "darwin" else peak * 1024
+    except (ImportError, OSError, ValueError):  # pragma: no cover - exotic
+        return None
+
+
+#: Response body: a JSON-able dict, or pre-rendered ``(bytes, content_type)``.
+_Body = Union[Dict[str, Any], Tuple[bytes, str]]
 
 
 class _BadHttp(Exception):
@@ -236,8 +273,9 @@ class DiagnosisServer:
                     break
                 if parsed is None:
                     break  # clean EOF between requests
-                method, path, headers, body = parsed
-                status, payload, extra = await self._route(method, path, body)
+                method, path, query, headers, body = parsed
+                status, payload, extra = await self._route(
+                    method, path, query, headers, body)
                 keep_alive = headers.get("connection", "keep-alive") != "close"
                 await self._write_response(
                     writer, status, payload, extra_headers=extra,
@@ -255,7 +293,7 @@ class DiagnosisServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    ) -> Optional[Tuple[str, str, str, Dict[str, str], bytes]]:
         request_line = await reader.readline()
         if not request_line:
             return None
@@ -285,16 +323,21 @@ class DiagnosisServer:
         if length < 0 or length > MAX_BODY_BYTES:
             raise _BadHttp("body too large")
         body = await reader.readexactly(length) if length else b""
-        return method, target.split("?", 1)[0], headers, body
+        path, _, query = target.partition("?")
+        return method, path, query, headers, body
 
     async def _write_response(
-        self, writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any],
+        self, writer: asyncio.StreamWriter, status: int, payload: _Body,
         extra_headers: Optional[Dict[str, str]] = None, close: bool = False,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, tuple):
+            body, content_type = payload
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         lines = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'close' if close else 'keep-alive'}",
         ]
@@ -306,8 +349,9 @@ class DiagnosisServer:
     # -- routing -------------------------------------------------------------
 
     async def _route(
-        self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict[str, Any], Optional[Dict[str, str]]]:
+        self, method: str, path: str, query: str, headers: Dict[str, str],
+        body: bytes,
+    ) -> Tuple[int, _Body, Optional[Dict[str, str]]]:
         try:
             if path == "/diagnose":
                 if method != "POST":
@@ -323,6 +367,8 @@ class DiagnosisServer:
             if path == "/metrics":
                 if method != "GET":
                     raise ServiceError("method_not_allowed", "use GET /metrics")
+                if self._wants_prometheus(query, headers):
+                    return 200, self._prometheus_body(), None
                 return 200, self._metrics_payload(), None
             raise ServiceError("no_such_route", f"no route for {path}")
         except ServiceError as exc:
@@ -377,6 +423,43 @@ class DiagnosisServer:
 
     # -- introspection -------------------------------------------------------
 
+    @staticmethod
+    def _wants_prometheus(query: str, headers: Dict[str, str]) -> bool:
+        """Content negotiation for ``GET /metrics``.
+
+        ``?format=prometheus`` (or ``?format=json``) wins outright;
+        otherwise an ``Accept`` header naming ``text/plain`` (what
+        Prometheus scrapers send) selects the text exposition.  Everything
+        else — including unknown formats — keeps the JSON default, so
+        existing consumers can never be broken by a typo.
+        """
+        fmt = (parse_qs(query).get("format") or [""])[0].strip().lower()
+        if fmt == "prometheus":
+            return True
+        if fmt:
+            return False
+        accept = headers.get("accept", "").lower()
+        return "text/plain" in accept and "application/json" not in accept
+
+    def _observe_process_gauges(self) -> Tuple[float, Optional[int]]:
+        """Refresh the process-health gauges both snapshots share."""
+        uptime_s = time.monotonic() - self.started_at
+        rss = process_rss_bytes()
+        METRICS.gauge("service.uptime_seconds", round(uptime_s, 3))
+        if rss is not None:
+            METRICS.gauge("process.rss_bytes", rss)
+        METRICS.gauge("service.queue_depth", self.queue.depth)
+        METRICS.gauge("service.inflight", self._inflight)
+        return uptime_s, rss
+
+    def _prometheus_body(self) -> Tuple[bytes, str]:
+        self._observe_process_gauges()
+        buckets, totals = self.latency.prometheus_series()
+        text = render_prometheus(
+            METRICS.snapshot(), latency_buckets=buckets, latency_totals=totals,
+        )
+        return text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE
+
     def _health_payload(self) -> Dict[str, Any]:
         return {
             "status": "draining" if self._draining else "ok",
@@ -388,9 +471,12 @@ class DiagnosisServer:
 
     def _metrics_payload(self) -> Dict[str, Any]:
         cache_stats = cache.stats()
+        uptime_s, rss = self._observe_process_gauges()
         return {
             "status": "draining" if self._draining else "ok",
-            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "uptime_s": round(uptime_s, 3),
+            "uptime_seconds": round(uptime_s, 3),
+            "process_rss_bytes": rss,
             "queue": {
                 "depth": self.queue.depth,
                 "max_depth": self.queue.max_depth,

@@ -48,10 +48,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..parallel import parallel_map
-from ..telemetry import METRICS
+from ..telemetry import METRICS, warn_env_once
 from .faults import Fault
 from .logicsim import _OP_AND, _OP_OR, _OP_XOR, _combine
-from .soa import _REDUCERS, soa_enabled, warn_env_once
+from .soa import _REDUCERS, soa_enabled
 from .transport import RESPONSE_CODEC
 
 #: Default faults per batch; chosen so a (batch, words) block stays small

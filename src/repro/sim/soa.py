@@ -41,36 +41,19 @@ from __future__ import annotations
 import hashlib
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..circuit.levelize import level_array
-from ..telemetry import METRICS, log
+from ..telemetry import METRICS, warn_env_once  # noqa: F401 - re-exported
+                                                # for legacy importers
 
 #: Reduction ufunc per opcode (see ``logicsim._OP_*``).  BUF (3) never
 #: reduces — buffers are single-operand and take the gather-only path.
 _REDUCERS = {0: np.bitwise_and, 1: np.bitwise_or, 2: np.bitwise_xor}
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
-
-#: Env values already warned about, so a misconfigured knob logs once per
-#: process instead of once per simulation call.
-_WARNED_ENV: Set[Tuple[str, str]] = set()
-
-
-def warn_env_once(knob: str, raw: str, fallback: str) -> None:
-    """One-time ``REPRO_LOG`` warning for an unparseable env knob.
-
-    Silent fallbacks hide typos (``REPRO_SOA=of``) until someone audits a
-    benchmark; naming the bad value once per process surfaces them
-    without spamming hot loops.
-    """
-    token = (knob, raw)
-    if token in _WARNED_ENV:
-        return
-    _WARNED_ENV.add(token)
-    log(f"warning: {knob}={raw!r} is not an integer; {fallback}")
 
 
 def soa_enabled(override: Optional[bool] = None) -> bool:

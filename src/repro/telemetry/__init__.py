@@ -33,13 +33,26 @@ from .export import (
     write_manifest,
     write_trace_jsonl,
 )
-from .log import debug, log, log_level, set_log_level
+from .log import debug, log, log_level, set_log_level, warn_env_once
 from .metrics import METRICS, Histogram, MetricsRegistry, metric_key, split_metric_key
+from .profiler import (
+    PROFILER,
+    ProfileData,
+    SamplingProfiler,
+    disable_profiling,
+    enable_profiling,
+    profile_enabled,
+    resolve_profile_hz,
+    write_profile_folded,
+)
+from .promexp import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from .promexp import render_prometheus, sanitize_metric_name
 from .tracer import (
     NULL_SPAN,
     Span,
     TRACER,
     Tracer,
+    active_span_name,
     disable_tracing,
     enable_tracing,
     span,
@@ -56,13 +69,20 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PROFILER",
+    "PROMETHEUS_CONTENT_TYPE",
+    "ProfileData",
+    "SamplingProfiler",
     "Span",
     "TRACER",
     "Tracer",
+    "active_span_name",
     "build_manifest",
     "config_hash",
     "debug",
+    "disable_profiling",
     "disable_tracing",
+    "enable_profiling",
     "enable_tracing",
     "git_sha",
     "kernel_selection",
@@ -70,8 +90,12 @@ __all__ = [
     "log_level",
     "metric_key",
     "print_span_tree",
+    "profile_enabled",
     "read_trace_jsonl",
+    "render_prometheus",
     "render_span_tree",
+    "resolve_profile_hz",
+    "sanitize_metric_name",
     "set_log_level",
     "span",
     "span_rollup",
@@ -79,6 +103,8 @@ __all__ = [
     "trace_enabled",
     "traced",
     "validate_manifest",
+    "warn_env_once",
     "write_manifest",
+    "write_profile_folded",
     "write_trace_jsonl",
 ]

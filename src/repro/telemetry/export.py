@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
 
 from .metrics import METRICS
+from .profiler import PROFILER
 from .tracer import Span, TRACER
 
 #: Environment knobs recorded in every manifest (missing ones read "").
@@ -34,6 +35,8 @@ ENV_KNOBS = (
     "REPRO_DISK_CACHE",
     "REPRO_WORKERS",
     "REPRO_TRACE",
+    "REPRO_PROFILE",
+    "REPRO_PROFILE_HZ",
     "REPRO_LOG",
     "REPRO_FAULTS",
     "REPRO_FAULTS_LARGE",
@@ -48,8 +51,11 @@ ENV_KNOBS = (
 )
 
 MANIFEST_SCHEMA_NAME = "repro-run-manifest"
-#: v2 adds the required ``kernels`` kernel-selection record.
-MANIFEST_SCHEMA_VERSION = 2
+#: v2 added the required ``kernels`` kernel-selection record; v3 adds the
+#: required ``profile`` sampling-profiler record (``enabled`` false when
+#: the run was not profiled).  v2 manifests still validate — the profile
+#: requirement only binds manifests that declare version >= 3.
+MANIFEST_SCHEMA_VERSION = 3
 
 #: Required manifest keys and the types their values must satisfy.  A
 #: deliberately small, dependency-free schema: ``validate_manifest``
@@ -73,6 +79,14 @@ MANIFEST_SCHEMA: Dict[str, Any] = {
 _KERNELS_SCHEMA: Dict[str, Any] = {
     "gate_eval": str,
     "fault_sim": str,
+}
+
+#: Required fields of the v3 ``profile`` record (the sampling-profiler
+#: summary; the folded stacks themselves live in ``profile.folded``).
+_PROFILE_SCHEMA: Dict[str, Any] = {
+    "enabled": bool,
+    "samples": int,
+    "spans": list,
 }
 
 _RUN_SCHEMA: Dict[str, Any] = {
@@ -254,6 +268,7 @@ def build_manifest(
         "seed": seed,
         "env": {knob: os.environ.get(knob, "") for knob in ENV_KNOBS},
         "kernels": kernel_selection(),
+        "profile": PROFILER.manifest_record(),
         "metrics": METRICS.snapshot(),
         "span_rollup": span_rollup(spans),
     }
@@ -287,6 +302,15 @@ def validate_manifest(manifest: Any) -> List[str]:
         )
     _check_fields(manifest["run"], _RUN_SCHEMA, "run.", errors)
     _check_fields(manifest["kernels"], _KERNELS_SCHEMA, "kernels.", errors)
+    if manifest["schema_version"] >= 3:
+        # v3 made the profiler record mandatory; v2 manifests (written
+        # before the profiler existed) stay valid without it.
+        profile = manifest.get("profile")
+        if not isinstance(profile, dict):
+            errors.append("profile: missing or not an object "
+                          "(required from schema v3)")
+        else:
+            _check_fields(profile, _PROFILE_SCHEMA, "profile.", errors)
     for section in ("counters", "gauges", "histograms"):
         if not isinstance(manifest["metrics"].get(section), dict):
             errors.append(f"metrics.{section}: missing or not an object")

@@ -12,9 +12,13 @@ from __future__ import annotations
 
 import os
 import sys
-from typing import Any, Optional, TextIO
+from typing import Any, Optional, Set, TextIO, Tuple
 
 LEVELS = {"quiet": 0, "info": 1, "debug": 2}
+
+#: Env values already warned about, so a misconfigured knob logs once per
+#: process instead of once per call into the hot path.
+_WARNED_ENV: Set[Tuple[str, str]] = set()
 
 #: Programmatic override (the CLI may set this); None defers to the env.
 _FORCED_LEVEL: Optional[str] = None
@@ -45,3 +49,19 @@ def log(message: Any, level: str = "info", stream: Optional[TextIO] = None) -> N
 
 def debug(message: Any) -> None:
     log(message, level="debug")
+
+
+def warn_env_once(knob: str, raw: str, fallback: str) -> None:
+    """One-time ``REPRO_LOG`` warning for an unparseable env knob.
+
+    Silent fallbacks hide typos (``REPRO_SOA=of``, ``REPRO_PROFILE_HZ=fast``)
+    until someone audits a benchmark; naming the bad value once per process
+    surfaces them without spamming hot loops.  Shared by every knob reader
+    (:mod:`repro.sim.soa`, :mod:`repro.sim.faultsim_batch`,
+    :mod:`repro.telemetry.tracer`, :mod:`repro.telemetry.profiler`).
+    """
+    token = (knob, raw)
+    if token in _WARNED_ENV:
+        return
+    _WARNED_ENV.add(token)
+    log(f"warning: {knob}={raw!r} is not a valid setting; {fallback}")

@@ -1,0 +1,166 @@
+"""Prometheus text-exposition rendering over the telemetry registry.
+
+The service's ``GET /metrics`` JSON snapshot is convenient for humans and
+the loadgen, but standard scrape tooling (Prometheus, the Grafana agent,
+victoriametrics) speaks the text exposition format — one
+``name{labels} value`` sample per line with ``# TYPE`` metadata.  This
+module renders that format with zero dependencies from the pieces the
+pipeline already maintains:
+
+* :class:`repro.telemetry.metrics.MetricsRegistry` counters become
+  ``<ns>_<name>_total`` counter samples; gauges map 1:1; the registry's
+  bucketless count/sum histograms become Prometheus **summaries**
+  (``_sum``/``_count``) with their min/max exposed as companion gauges.
+* :class:`repro.service.latency.LatencyBoard` log-bucket histograms
+  become full Prometheus **histograms** — cumulative ``_bucket{le=...}``
+  series plus ``_sum``/``_count`` — one ``stage`` label per board entry.
+
+Metric names are derived mechanically: dots to underscores, everything
+else non-alphanumeric folded to ``_``, ``repro_`` namespace prefix.
+Label keys/values come straight from
+:func:`repro.telemetry.metrics.split_metric_key`, values escaped per the
+exposition spec (backslash, double-quote, newline).
+
+The service serves this via content negotiation on ``GET /metrics``
+(``?format=prometheus`` or ``Accept: text/plain``); JSON stays the
+default so existing consumers never notice.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .metrics import METRICS, split_metric_key
+
+#: Content type Prometheus scrapers expect for the text format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str, namespace: str = "repro") -> str:
+    """Fold a dotted registry name into a legal Prometheus metric name."""
+    flat = _NAME_BAD_CHARS.sub("_", name.replace(".", "_"))
+    if namespace:
+        flat = f"{namespace}_{flat}"
+    if not _NAME_OK.match(flat):  # leading digit or empty after folding
+        flat = "_" + flat
+    return flat
+
+
+def _sanitize_label_name(name: str) -> str:
+    flat = _LABEL_BAD_CHARS.sub("_", name)
+    return flat if flat and not flat[0].isdigit() else "_" + flat
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r'\"')
+    )
+
+
+def _fmt_labels(labels: Dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_sanitize_label_name(k)}="{_escape_label_value(v)}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _grouped(samples: Dict[str, Any]) -> Dict[str, List[Tuple[Dict[str, Any], Any]]]:
+    """Registry keys -> ``{base_name: [(labels, value), ...]}`` so the
+    ``# TYPE`` header is emitted once per metric family."""
+    families: Dict[str, List[Tuple[Dict[str, Any], Any]]] = {}
+    for key in sorted(samples):
+        name, labels = split_metric_key(key)
+        families.setdefault(name, []).append((labels, samples[key]))
+    return families
+
+
+def render_prometheus(
+    snapshot: Optional[Dict[str, Any]] = None,
+    latency_buckets: Optional[Dict[str, Iterable[Tuple[float, int]]]] = None,
+    latency_totals: Optional[Dict[str, Tuple[float, int]]] = None,
+    namespace: str = "repro",
+) -> str:
+    """Render one scrape body.
+
+    ``snapshot`` defaults to the live :data:`METRICS` registry.
+    ``latency_buckets`` maps a stage name to its cumulative
+    ``(upper_bound_s, cumulative_count)`` series and ``latency_totals``
+    to ``(sum_seconds, count)`` — the shape
+    :meth:`repro.service.latency.LatencyHistogram.cumulative_buckets`
+    and ``totals`` produce.
+    """
+    snapshot = METRICS.snapshot() if snapshot is None else snapshot
+    lines: List[str] = []
+
+    for name, samples in _grouped(snapshot.get("counters", {})).items():
+        metric = sanitize_metric_name(name, namespace) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        for labels, value in samples:
+            lines.append(f"{metric}{_fmt_labels(labels)} {_fmt_value(value)}")
+
+    for name, samples in _grouped(snapshot.get("gauges", {})).items():
+        metric = sanitize_metric_name(name, namespace)
+        lines.append(f"# TYPE {metric} gauge")
+        for labels, value in samples:
+            lines.append(f"{metric}{_fmt_labels(labels)} {_fmt_value(value)}")
+
+    for name, samples in _grouped(snapshot.get("histograms", {})).items():
+        metric = sanitize_metric_name(name, namespace)
+        lines.append(f"# TYPE {metric} summary")
+        extremes: List[Tuple[str, Dict[str, Any], Any]] = []
+        for labels, hist in samples:
+            label_str = _fmt_labels(labels)
+            lines.append(f"{metric}_sum{label_str} "
+                         f"{_fmt_value(hist.get('sum', 0.0))}")
+            lines.append(f"{metric}_count{label_str} "
+                         f"{_fmt_value(hist.get('count', 0))}")
+            for bound in ("min", "max"):
+                if hist.get(bound) is not None:
+                    extremes.append((bound, labels, hist[bound]))
+        # min/max have no place in a summary; expose them as companion
+        # gauges so dashboards keep the envelope the JSON snapshot had.
+        for bound in ("min", "max"):
+            rows = [e for e in extremes if e[0] == bound]
+            if rows:
+                lines.append(f"# TYPE {metric}_{bound} gauge")
+                for _, labels, value in rows:
+                    lines.append(f"{metric}_{bound}{_fmt_labels(labels)} "
+                                 f"{_fmt_value(value)}")
+
+    if latency_buckets:
+        metric = sanitize_metric_name("service.request_seconds", namespace)
+        lines.append(f"# TYPE {metric} histogram")
+        for stage in sorted(latency_buckets):
+            buckets = list(latency_buckets[stage])
+            total_sum, total_count = (latency_totals or {}).get(
+                stage, (0.0, buckets[-1][1] if buckets else 0))
+            for upper_s, cum in buckets:
+                labels = _fmt_labels({"stage": stage, "le": f"{upper_s:.9g}"})
+                lines.append(f"{metric}_bucket{labels} {cum}")
+            inf_labels = _fmt_labels({"stage": stage, "le": "+Inf"})
+            lines.append(f"{metric}_bucket{inf_labels} {total_count}")
+            stage_labels = _fmt_labels({"stage": stage})
+            lines.append(f"{metric}_sum{stage_labels} {_fmt_value(total_sum)}")
+            lines.append(f"{metric}_count{stage_labels} {total_count}")
+
+    return "\n".join(lines) + "\n"

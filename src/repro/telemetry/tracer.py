@@ -23,6 +23,38 @@ import threading
 import time
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from .log import warn_env_once
+
+#: ``REPRO_TRACE`` spellings that switch tracing on / off.  Anything else
+#: warns once (:func:`repro.telemetry.log.warn_env_once`) and stays off.
+_TRACE_ON = ("1", "true", "on", "yes")
+_TRACE_OFF = ("", "0", "false", "off", "no")
+
+
+def _trace_env_enabled() -> bool:
+    raw = os.environ.get("REPRO_TRACE", "").strip().lower()
+    if raw in _TRACE_ON:
+        return True
+    if raw not in _TRACE_OFF:
+        warn_env_once("REPRO_TRACE", raw, "keeping tracing disabled")
+    return False
+
+
+#: Name of the innermost open span per thread ident.  The sampling
+#: profiler (:mod:`repro.telemetry.profiler`) reads this from its signal
+#: handler / sampler thread to attribute stack samples to pipeline
+#: stages; a contextvar cannot serve that purpose because the sampler
+#: thread runs in its own context.  Plain dict ops under the GIL.
+_THREAD_SPANS: Dict[int, str] = {}
+
+
+def active_span_name(ident: Optional[int] = None) -> Optional[str]:
+    """Name of the span currently open in the given thread (default: the
+    calling thread), or None outside any span."""
+    if ident is None:
+        ident = threading.get_ident()
+    return _THREAD_SPANS.get(ident)
+
 
 class Span:
     """One timed stage of the pipeline.
@@ -141,22 +173,31 @@ class _SpanContext:
     """Context manager that opens a span on entry and closes it on exit,
     maintaining the tracer's current-span variable."""
 
-    __slots__ = ("_tracer", "_span", "_token")
+    __slots__ = ("_tracer", "_span", "_token", "_prev_name")
 
     def __init__(self, tracer: "Tracer", span: Span):
         self._tracer = tracer
         self._span = span
         self._token: Optional[contextvars.Token] = None
+        self._prev_name: Optional[str] = None
 
     def __enter__(self) -> Span:
         parent = self._tracer._current.get()
         if parent is not None:
             parent.children.append(self._span)
         self._token = self._tracer._current.set(self._span)
+        ident = threading.get_ident()
+        self._prev_name = _THREAD_SPANS.get(ident)
+        _THREAD_SPANS[ident] = self._span.name
         return self._span
 
     def __exit__(self, *exc: Any) -> None:
         self._span.close()
+        ident = threading.get_ident()
+        if self._prev_name is None:
+            _THREAD_SPANS.pop(ident, None)
+        else:
+            _THREAD_SPANS[ident] = self._prev_name
         if self._token is not None:
             self._tracer._current.reset(self._token)
         if self._tracer._current.get() is None:
@@ -170,7 +211,7 @@ class Tracer:
 
     def __init__(self, enabled: Optional[bool] = None):
         if enabled is None:
-            enabled = os.environ.get("REPRO_TRACE", "").strip() in ("1", "true", "on")
+            enabled = _trace_env_enabled()
         self.enabled = bool(enabled)
         self._current: contextvars.ContextVar[Optional[Span]] = (
             contextvars.ContextVar("repro_current_span", default=None)

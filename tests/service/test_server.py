@@ -54,6 +54,11 @@ class TestHappyPath:
             assert metrics["cache"]["bytes"] > 0
             # The full telemetry registry rides along for scrapers.
             assert "service.batch_size" in metrics["registry"]["histograms"]
+            # Process gauges: uptime moves forward, RSS is a real size.
+            assert metrics["uptime_seconds"] > 0
+            assert metrics["process_rss_bytes"] is None or (
+                metrics["process_rss_bytes"] > 1024 * 1024
+            )
 
     def test_keep_alive_serves_many_requests(self, live_server):
         _, port = live_server(batch_wait_ms=1)
@@ -167,6 +172,84 @@ class TestBatchingOverHttp:
             t.join()
         # At least one multi-request batch formed inside the 150 ms window.
         assert max(r.batch_size for r in replies.values()) >= 2
+
+
+class TestPrometheusExposition:
+    """GET /metrics content negotiation: JSON stays the default; the
+    Prometheus text exposition is served for ``?format=prometheus`` or an
+    ``Accept: text/plain`` scrape, and must parse as valid v0.0.4 text."""
+
+    @staticmethod
+    def _get(port, target, accept=None):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        headers = {"Accept": accept} if accept else {}
+        conn.request("GET", target, headers=headers)
+        response = conn.getresponse()
+        body = response.read()
+        conn.close()
+        return response, body
+
+    def _warmed_port(self, live_server):
+        _, port = live_server(batch_wait_ms=1)
+        with ServiceClient(port=port) as client:
+            client.wait_ready()
+            client.diagnose(small_payload(0))
+        return port
+
+    def test_format_param_serves_prometheus_text(self, live_server):
+        from tests.telemetry.test_promexp import _parse
+
+        port = self._warmed_port(live_server)
+        response, body = self._get(port, "/metrics?format=prometheus")
+        assert response.status == 200
+        assert response.getheader("Content-Type").startswith(
+            "text/plain; version=0.0.4"
+        )
+        families, samples = _parse(body.decode())
+        values = {(name, tuple(sorted(labels.items()))): value
+                  for name, labels, value in samples}
+        # Counters carry the _total suffix and real request activity.
+        assert families["repro_service_requests_total"] == "counter"
+        assert any(name == "repro_service_requests_total"
+                   for name, _, _ in samples)
+        # Process gauges from this PR.
+        assert families["repro_service_uptime_seconds"] == "gauge"
+        assert float(values[("repro_service_uptime_seconds", ())]) > 0
+        if ("repro_process_rss_bytes", ()) in values:
+            assert float(values[("repro_process_rss_bytes", ())]) > 1 << 20
+        # The latency board renders as a real histogram with cumulative
+        # buckets closed by +Inf.
+        assert families["repro_service_request_seconds"] == "histogram"
+        total_buckets = [
+            (labels["le"], int(value)) for name, labels, value in samples
+            if name == "repro_service_request_seconds_bucket"
+            and labels["stage"] == "total"
+        ]
+        assert total_buckets, "no latency buckets for stage=total"
+        counts = [c for _, c in total_buckets]
+        assert counts == sorted(counts)
+        assert total_buckets[-1][0] == "+Inf"
+
+    def test_accept_header_negotiates_text(self, live_server):
+        port = self._warmed_port(live_server)
+        response, body = self._get(port, "/metrics", accept="text/plain")
+        assert response.getheader("Content-Type").startswith("text/plain")
+        assert b"# TYPE" in body
+
+    def test_json_stays_default(self, live_server):
+        port = self._warmed_port(live_server)
+        for target, accept in (
+            ("/metrics", None),
+            ("/metrics", "application/json, text/plain"),
+            ("/metrics?format=weird", "text/plain"),
+        ):
+            response, body = self._get(port, target, accept=accept)
+            assert response.status == 200
+            assert response.getheader("Content-Type").startswith(
+                "application/json"
+            )
+            payload = json.loads(body)
+            assert "uptime_seconds" in payload
 
 
 class TestGracefulShutdown:

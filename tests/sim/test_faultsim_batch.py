@@ -62,11 +62,16 @@ class TestResolveBatchSize:
         assert resolve_batch_size() == DEFAULT_BATCH
 
     def test_garbage_env_warns_once(self, monkeypatch, capsys):
-        from repro.sim import soa
+        import importlib
+
+        # repro.telemetry re-exports the log *function* under the submodule
+        # name, so attribute-style imports resolve to the function — go
+        # through importlib to reach the module that owns _WARNED_ENV.
+        telemetry_log = importlib.import_module("repro.telemetry.log")
 
         monkeypatch.setenv("REPRO_LOG", "info")
         monkeypatch.setenv("REPRO_FAULT_BATCH", "banana")
-        monkeypatch.setattr(soa, "_WARNED_ENV", set())
+        monkeypatch.setattr(telemetry_log, "_WARNED_ENV", set())
         assert resolve_batch_size() == DEFAULT_BATCH
         err = capsys.readouterr().err
         assert "REPRO_FAULT_BATCH" in err and "'banana'" in err

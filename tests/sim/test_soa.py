@@ -19,6 +19,11 @@ from repro.experiments import cache_disk
 from repro.experiments.cache import cache_stats, clear_caches
 from repro.parallel import fork_available
 from repro.sim import soa
+import importlib
+
+# repro.telemetry re-exports the log *function* under the submodule's
+# name, so attribute-style imports resolve to the function, not the module.
+telemetry_log = importlib.import_module("repro.telemetry.log")
 from repro.sim.faults import collapse_faults
 from repro.sim.faultsim_batch import simulate_batch, simulate_faults_batched
 from repro.sim.logicsim import CompiledCircuit
@@ -97,7 +102,7 @@ class TestSoaEnabled:
     def test_garbage_env_warns_once_and_keeps_default(self, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_LOG", "info")
         monkeypatch.setenv("REPRO_SOA", "of")
-        monkeypatch.setattr(soa, "_WARNED_ENV", set())
+        monkeypatch.setattr(telemetry_log, "_WARNED_ENV", set())
         assert soa_enabled() is True
         err = capsys.readouterr().err
         assert "REPRO_SOA" in err and "'of'" in err
@@ -108,7 +113,7 @@ class TestSoaEnabled:
     def test_quiet_log_suppresses_warning(self, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_LOG", "quiet")
         monkeypatch.setenv("REPRO_SOA", "yes")
-        monkeypatch.setattr(soa, "_WARNED_ENV", set())
+        monkeypatch.setattr(telemetry_log, "_WARNED_ENV", set())
         assert soa_enabled() is True
         assert capsys.readouterr().err == ""
 

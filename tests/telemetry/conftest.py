@@ -4,16 +4,19 @@ from __future__ import annotations
 
 import pytest
 
-from repro.telemetry import METRICS, TRACER
+from repro.telemetry import METRICS, PROFILER, TRACER
 
 
 @pytest.fixture(autouse=True)
 def clean_telemetry():
-    """Reset the global tracer and registry around every test, and restore
-    the enabled flag (other test modules must keep seeing the default)."""
+    """Reset the global tracer, registry and profiler samples around every
+    test, and restore the enabled flag (other test modules must keep
+    seeing the default)."""
     was_enabled = TRACER.enabled
     TRACER.reset()
     yield
     TRACER.enabled = was_enabled
     TRACER.reset()
     METRICS.reset()
+    PROFILER.stop()
+    PROFILER.data.clear()

@@ -20,6 +20,17 @@ def _task(i: int) -> int:
     return i * i
 
 
+def _spin_task(i: int) -> int:
+    """CPU-bound enough for a 400 Hz sampler to catch inside a worker."""
+    import time
+
+    deadline = time.perf_counter() + 0.05
+    acc = i
+    while time.perf_counter() < deadline:
+        acc = (acc * 1103515245 + 12345) % (1 << 31)
+    return acc % 7
+
+
 @needs_fork
 class TestForkMerge:
     def test_metrics_merge_across_workers(self):
@@ -51,6 +62,30 @@ class TestForkMerge:
         serial = parallel_map(_task, 9, workers=0)
         forked = parallel_map(_task, 9, workers=2, min_items=2)
         assert serial == forked
+
+    def test_profile_samples_merge_from_workers(self):
+        from repro.telemetry import PROFILER
+
+        PROFILER.data.clear()
+        PROFILER.start(hz=400)
+        try:
+            parallel_map(_spin_task, 8, workers=2, min_items=2)
+        finally:
+            PROFILER.stop()
+        # Workers resume sampling after the fork and ship their deltas
+        # back through the chunk payload; the parent pool must now hold
+        # stacks recorded inside the forked children's task code.
+        assert PROFILER.data.total > 0
+        assert any("_spin_task" in key for key in PROFILER.data.samples), (
+            sorted(PROFILER.data.samples)
+        )
+
+    def test_inactive_profiler_ships_no_profile_payload(self):
+        from repro.telemetry import PROFILER
+
+        PROFILER.data.clear()
+        parallel_map(_spin_task, 8, workers=2, min_items=2)
+        assert PROFILER.data.total == 0
 
 
 class TestSerialFallback:

@@ -84,6 +84,56 @@ class TestValidation:
         assert any("newer" in e for e in validate_manifest(manifest))
 
 
+class TestProfileSchemaV3:
+    """v3 added the required ``profile`` record; v2 manifests (written
+    before the profiler existed) must keep validating without one."""
+
+    def test_built_manifest_is_v3_with_profile(self):
+        manifest = build_manifest()
+        assert manifest["schema_version"] == 3
+        profile = manifest["profile"]
+        assert isinstance(profile["enabled"], bool)
+        assert isinstance(profile["samples"], int)
+        assert isinstance(profile["spans"], list)
+        assert validate_manifest(manifest) == []
+
+    def test_v2_manifest_without_profile_still_validates(self):
+        manifest = build_manifest()
+        manifest["schema_version"] = 2
+        del manifest["profile"]
+        assert validate_manifest(manifest) == []
+
+    def test_v3_manifest_missing_profile_rejected(self):
+        manifest = build_manifest()
+        del manifest["profile"]
+        errors = validate_manifest(manifest)
+        assert any("profile" in e and "schema v3" in e for e in errors)
+
+    def test_v3_profile_wrong_type_rejected(self):
+        manifest = build_manifest()
+        manifest["profile"] = "lots of samples"
+        assert any("profile" in e for e in validate_manifest(manifest))
+
+    def test_v3_profile_mistyped_fields_rejected(self):
+        manifest = build_manifest()
+        manifest["profile"] = {"enabled": "yes", "samples": 3.5}
+        errors = validate_manifest(manifest)
+        assert any("profile.enabled" in e for e in errors)
+        assert any("profile.samples" in e for e in errors)
+        assert any("profile.spans: missing" in e for e in errors)
+
+    def test_write_read_roundtrip_keeps_profile(self, tmp_path):
+        from repro.telemetry import PROFILER
+
+        PROFILER.data.record("span:experiment:test;m:f")
+        manifest = build_manifest()
+        path = write_manifest(tmp_path / "manifest.json", manifest)
+        loaded = json.loads(path.read_text())
+        assert validate_manifest(loaded) == []
+        assert loaded["profile"]["samples"] >= 1
+        assert loaded["profile"]["spans"][0]["span"] == "experiment:test"
+
+
 class TestRollup:
     def test_rollup_aggregates_by_name(self):
         enable_tracing()

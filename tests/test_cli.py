@@ -52,6 +52,56 @@ class TestExperiment:
         with pytest.raises(SystemExit):
             experiment_main(["table99"])
 
+    def test_profiled_traced_run_exports_and_stats_renders(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """--quick --profile --trace end to end: non-empty collapsed-stack
+        file, schema-v3 manifest with an enabled profile record, and
+        `repro stats` rendering the per-span hot-function tables."""
+        import json
+
+        from repro import telemetry
+        from repro.cli import stats_main
+        from repro.experiments.cache import clear_caches
+
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        # A cache-warm --quick run spends too little CPU for the default
+        # 97 Hz to land a sample reliably; cold caches + a high rate make
+        # the sampler deterministic enough to assert on.
+        monkeypatch.setenv("REPRO_PROFILE_HZ", "2000")
+        clear_caches()
+        monkeypatch.chdir(tmp_path)
+        was_enabled = telemetry.TRACER.enabled
+        telemetry.TRACER.reset()
+        try:
+            code = experiment_main(["table1", "--quick", "--profile",
+                                    "--trace"])
+        finally:
+            telemetry.PROFILER.stop()
+            telemetry.TRACER.enabled = was_enabled
+            telemetry.TRACER.reset()
+        assert code == 0
+        folded = (tmp_path / "profile.folded").read_text()
+        assert folded.strip(), "profiler collected no samples"
+        assert all(
+            line.rpartition(" ")[2].isdigit()
+            for line in folded.strip().splitlines()
+        )
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert telemetry.validate_manifest(manifest) == []
+        assert manifest["schema_version"] == 3
+        assert manifest["profile"]["enabled"] is True
+        assert manifest["profile"]["samples"] > 0
+        assert manifest["profile_file"] == "profile.folded"
+        telemetry.PROFILER.data.clear()
+        capsys.readouterr()
+        assert stats_main([str(tmp_path / "manifest.json")]) == 0
+        out = capsys.readouterr().out
+        # Sample counts on a --quick run are tiny, so don't pin which span
+        # got them — just that the per-span hot-function tables rendered.
+        assert "Profile:" in out
+        assert "self %" in out
+
     def test_all_runners_registered(self):
         expected = {
             "table1", "table2", "table3", "table4", "figure3", "figure5",
@@ -124,6 +174,28 @@ class TestStatsRobustness:
         trace.write_text("")
         assert stats_main([str(trace)]) == 2
         assert "empty" in capsys.readouterr().err
+
+    def test_manifest_with_spans_but_no_metrics(self, capsys, tmp_path):
+        """A manifest recording spans without a metrics section is a
+        partial export: clear exit-2 error, never a silent half-summary."""
+        import json
+
+        from repro import telemetry
+        from repro.cli import stats_main
+
+        telemetry.enable_tracing()
+        with telemetry.span("experiment:test"):
+            pass
+        manifest = telemetry.build_manifest()
+        telemetry.disable_tracing()
+        telemetry.TRACER.reset()
+        del manifest["metrics"]
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(manifest, default=repr))
+        assert stats_main([str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "span(s) but no metrics section" in err
+        assert "Traceback" not in err
 
 
 class TestStatsDiskCache:

@@ -1,0 +1,154 @@
+"""Perf observatory (scripts/perfdash.py): series folding, sparklines,
+history artifact, and the trend gate's exit codes."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+spec = importlib.util.spec_from_file_location(
+    "perfdash", REPO_ROOT / "scripts" / "perfdash.py"
+)
+perfdash = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(perfdash)
+
+
+def write_report(root, pr, circuits, **extra):
+    body = {"pr": pr, "circuits": circuits}
+    body.update(extra)
+    (root / f"BENCH_PR{pr}.json").write_text(json.dumps(body))
+
+
+def healthy_history(root):
+    write_report(root, 1, [
+        {"circuit": "s953", "fault_batch_speedup": 8.0,
+         "fault_sim_s": 0.10, "dr": 0.2},
+    ])
+    write_report(root, 2, [
+        {"circuit": "s953", "fault_batch_speedup": 9.5,
+         "soa_speedup": 2.0, "fault_sim_s": 0.08, "dr": 0.2},
+    ])
+    write_report(root, 3, [
+        {"circuit": "s953", "fault_batch_speedup": 9.0,
+         "soa_speedup": 1.9, "fault_sim_s": 0.07, "dr": 0.2},
+    ])
+
+
+class TestDiscovery:
+    def test_orders_by_pr_and_skips_foreign_schema(self, tmp_path, capsys):
+        healthy_history(tmp_path)
+        # A service-bench report without a circuits list must be skipped
+        # with a note, never silently and never a crash.
+        (tmp_path / "BENCH_PR10.json").write_text(
+            json.dumps({"schema": "service-bench", "service": {}})
+        )
+        (tmp_path / "BENCH_PR11.json").write_text("{corrupt")
+        reports = perfdash.discover_reports(tmp_path)
+        assert [pr for pr, _, _ in reports] == [1, 2, 3]
+        err = capsys.readouterr().err
+        assert "BENCH_PR10.json" in err and "circuits" in err
+        assert "BENCH_PR11.json" in err
+
+    def test_series_tolerate_gaps_and_non_numeric(self, tmp_path):
+        healthy_history(tmp_path)
+        series = perfdash.load_series(perfdash.discover_reports(tmp_path))
+        # soa_speedup only exists from PR2 — a gap, not an error.
+        assert series[("s953", "soa_speedup")] == [(2, 2.0), (3, 1.9)]
+        assert series[("s953", "fault_batch_speedup")] == [
+            (1, 8.0), (2, 9.5), (3, 9.0)
+        ]
+        assert ("s953", "circuit") not in series
+
+
+class TestSparkline:
+    def test_shape_and_extremes(self):
+        line = perfdash.sparkline([1.0, 2.0, 3.0, 8.0])
+        assert len(line) == 4
+        assert line[0] == perfdash.SPARK_CHARS[0]
+        assert line[-1] == perfdash.SPARK_CHARS[-1]
+
+    def test_flat_and_empty_series(self):
+        assert perfdash.sparkline([]) == ""
+        flat = perfdash.sparkline([5.0, 5.0, 5.0])
+        assert len(set(flat)) == 1 and len(flat) == 3
+
+
+class TestTrendGate:
+    def test_healthy_history_passes(self, tmp_path):
+        healthy_history(tmp_path)
+        series = perfdash.load_series(perfdash.discover_reports(tmp_path))
+        assert perfdash.check_trend(series, tolerance=0.4) == []
+
+    def test_regression_detected(self, tmp_path):
+        healthy_history(tmp_path)
+        write_report(tmp_path, 4, [
+            {"circuit": "s953", "fault_batch_speedup": 3.0,
+             "soa_speedup": 1.9},
+        ])
+        series = perfdash.load_series(perfdash.discover_reports(tmp_path))
+        failures = perfdash.check_trend(series, tolerance=0.4)
+        assert len(failures) == 1
+        assert "s953.fault_batch_speedup" in failures[0]
+        assert "9.50x" in failures[0]  # names the best value and PR
+        assert "PR2" in failures[0]
+
+    def test_untracked_speedups_never_gate(self, tmp_path):
+        write_report(tmp_path, 1, [
+            {"circuit": "s953", "serve_disk_warm_speedup": 20.0}])
+        write_report(tmp_path, 2, [
+            {"circuit": "s953", "serve_disk_warm_speedup": 1.0}])
+        series = perfdash.load_series(perfdash.discover_reports(tmp_path))
+        assert perfdash.check_trend(series, tolerance=0.4) == []
+
+    def test_single_point_series_has_no_history_to_regress(self, tmp_path):
+        write_report(tmp_path, 1, [
+            {"circuit": "s953", "fault_batch_speedup": 8.0}])
+        series = perfdash.load_series(perfdash.discover_reports(tmp_path))
+        assert perfdash.check_trend(series) == []
+
+
+class TestMain:
+    def test_synthetic_regression_exits_2(self, tmp_path, capsys):
+        healthy_history(tmp_path)
+        write_report(tmp_path, 4, [
+            {"circuit": "s953", "fault_batch_speedup": 2.0}])
+        code = perfdash.main(["--dir", str(tmp_path), "--check-trend"])
+        assert code == 2
+        assert "TREND REGRESSIONS" in capsys.readouterr().err
+
+    def test_healthy_run_exits_0_and_writes_history(self, tmp_path, capsys):
+        healthy_history(tmp_path)
+        out = tmp_path / "perf_history.json"
+        code = perfdash.main([
+            "--dir", str(tmp_path), "--check-trend", "--out", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "trend gate passed" in stdout
+        history = json.loads(out.read_text())
+        assert history["schema"] == "repro-perf-history"
+        entry = history["series"]["s953/fault_batch_speedup"]
+        assert entry["gated"] is True
+        assert entry["best"] == 9.5
+        assert entry["latest"] == 9.0
+        # Lower-is-better metric keeps min as best.
+        assert history["series"]["s953/fault_sim_s"]["best"] == 0.07
+
+    def test_no_reports_exits_1(self, tmp_path, capsys):
+        assert perfdash.main(["--dir", str(tmp_path)]) == 1
+        assert "no usable" in capsys.readouterr().err
+        assert perfdash.main(["--dir", str(tmp_path / "absent")]) == 1
+
+    @pytest.mark.skipif(
+        not list(REPO_ROOT.glob("BENCH_PR*.json")),
+        reason="no committed bench history",
+    )
+    def test_committed_history_passes_the_gate(self, capsys):
+        """The acceptance contract: the gate must be green on the repo's
+        own committed trajectory (else CI is red on merge)."""
+        code = perfdash.main(["--dir", str(REPO_ROOT), "--check-trend"])
+        assert code == 0, capsys.readouterr().err
