@@ -1,6 +1,6 @@
 #!/usr/bin/env python
 """Performance-trajectory harness: times the pipeline's hot stages and
-writes a machine-readable ``BENCH_PR7.json`` so future PRs can track the
+writes a machine-readable ``BENCH_PR8.json`` so future PRs can track the
 perf trajectory.
 
 Stages, per benchmark circuit:
@@ -40,18 +40,27 @@ Stages, per benchmark circuit:
   cache.  ``end_to_end_speedup`` is the ratio; the two paths must agree on
   DR bit-for-bit (asserted).
 
+A separate ``"cluster"`` section (PR 8) drives ``scripts/loadgen.py``
+against a spawned single-process server and a 4-worker prefork cluster
+(same circuit, same request mix, ``--verify`` on both so replies are
+checked against the direct diagnosis path), then repeats the cluster run
+with a mid-run ``kill -9`` of one worker.  It records each run's
+throughput, ``cluster_speedup`` (multi/single), ``cpu_count`` (the
+speedup is meaningless without it — a 4-worker cluster on one core
+mostly measures scheduling overhead), and the chaos run's recovery.
+
 All timing passes run with tracing **disabled** (the telemetry no-op
 path).  A separate traced pass afterwards collects the span rollup and
 metric totals that are embedded under ``"telemetry"`` — so the report
 carries both the wall-clock trajectory and where the time went.
 
-The previous trajectory file (``--prev``, default ``BENCH_PR6.json``) is
+The previous trajectory file (``--prev``, default ``BENCH_PR7.json``) is
 optional: when
 present, per-circuit wall-clock and per-stage telemetry deltas are
 recorded under ``"deltas_vs_prev"``; when absent the report simply omits
 them.
 
-``--check BENCH_PR7.json`` turns the harness into a CI gate: after the
+``--check BENCH_PR8.json`` turns the harness into a CI gate: after the
 run it compares this machine's ``fault_batch_speedup`` and
 ``soa_speedup`` per circuit against the committed report and exits 1 if
 either regressed by more than ``--tolerance`` (default 0.25) on any
@@ -60,9 +69,9 @@ absolute-speed differences between CI runners and the machine that
 produced the committed report.
 
 Run:  PYTHONPATH=src python scripts/bench.py [--circuits s953 s5378]
-      [--faults N] [--partitions N] [--out BENCH_PR7.json]
-      [--prev BENCH_PR6.json] [--quick]
-      [--check BENCH_PR7.json --tolerance 0.25]
+      [--faults N] [--partitions N] [--out BENCH_PR8.json]
+      [--prev BENCH_PR7.json] [--quick]
+      [--check BENCH_PR8.json --tolerance 0.25]
 """
 
 import argparse
@@ -97,7 +106,7 @@ from repro.soc.core_wrapper import EmbeddedCore, _name_seed
 from repro.telemetry import METRICS, SamplingProfiler, log
 
 NUM_GROUPS = 4
-PR_NUMBER = 7
+PR_NUMBER = 8
 
 
 def seed_collect_events(response, scan_config):
@@ -391,6 +400,78 @@ def bench_disk_cache(name, config, num_partitions):
     return timings
 
 
+def bench_cluster(circuit, quick, cluster_workers=4):
+    """Cluster scaling + chaos stage, driven through ``scripts/loadgen.py``.
+
+    Three spawned runs against the same circuit and request mix, all with
+    ``--verify`` (replies checked against the direct diagnosis path) and
+    ``--fail-on-5xx``:
+
+    1. one single-process server,
+    2. a ``cluster_workers``-worker prefork cluster,
+    3. the same cluster with one worker ``kill -9``'d mid-run.
+
+    ``cluster_speedup`` is (2)/(1) throughput.  ``cpu_count`` is recorded
+    because the ratio only means something relative to it: prefork scales
+    with cores, so on a 1-core box the expected ratio is ~1.0 and the
+    stage is really exercising correctness + failover, not speed.
+    """
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    import loadgen
+
+    requests = 60 if quick else 200
+    concurrency = 16 if quick else 50
+
+    def run(tag, extra, tmp):
+        out = Path(tmp) / f"{tag}.json"
+        argv = ["--spawn", "--requests", str(requests),
+                "--concurrency", str(concurrency),
+                "--circuit", circuit, "--fault-count", "20",
+                "--verify", "--fail-on-5xx", "--out", str(out)] + extra
+        log(f"cluster stage: loadgen {tag} ({' '.join(extra) or 'single'})")
+        code = loadgen.main(argv)
+        report = json.loads(out.read_text())
+        service = report["service"]
+        row = {
+            "throughput_rps": service["throughput_rps"],
+            "p95_ms": service["latency_ms"]["p95"],
+            "ok": service["codes"].get("ok", 0),
+            "dropped": service["dropped"],
+            "deterministic": report.get("determinism", {}).get("ok"),
+            "drain_clean": report.get("drain", {}).get("clean"),
+            "exit_code": code,
+        }
+        if "chaos" in report:
+            row["chaos"] = {
+                key: report["chaos"].get(key)
+                for key in ("recovered", "recovered_s", "killed_at_progress",
+                            "skipped")
+            }
+        return row
+
+    multi = ["--workers", str(cluster_workers)]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cluster-") as tmp:
+        single_run = run("single", [], tmp)
+        cluster_run = run("cluster", multi, tmp)
+        chaos_run = run("chaos", multi + ["--kill-one-at", "0.5"], tmp)
+
+    single_rps = single_run["throughput_rps"]
+    cluster_rps = cluster_run["throughput_rps"]
+    return {
+        "workers": cluster_workers,
+        "cpu_count": os.cpu_count(),
+        "requests": requests,
+        "concurrency": concurrency,
+        "circuit": circuit,
+        "single_process": single_run,
+        "cluster": cluster_run,
+        "cluster_chaos": chaos_run,
+        "cluster_speedup": (
+            round(cluster_rps / single_rps, 2) if single_rps else None
+        ),
+    }
+
+
 #: Machine-relative ratios the ``--check`` gate holds against the
 #: committed report; a metric absent from either side is skipped, so old
 #: reports keep gating what they actually recorded.
@@ -508,7 +589,7 @@ def main():
     parser.add_argument("--patterns", type=int, default=128)
     parser.add_argument("--partitions", type=int, default=8)
     parser.add_argument("--out", default=f"BENCH_PR{PR_NUMBER}.json")
-    parser.add_argument("--prev", default="BENCH_PR6.json",
+    parser.add_argument("--prev", default="BENCH_PR7.json",
                         help="previous trajectory file for deltas "
                         "(missing is fine)")
     parser.add_argument("--quick", action="store_true",
@@ -570,6 +651,16 @@ def main():
             f" | profile overhead {timings['profile_overhead_pct']:+.1f}%"
             f" ({timings['profile_samples']} samples)"
         )
+    log("benchmarking cluster scaling ...")
+    report["cluster"] = bench_cluster(args.circuits[0], args.quick)
+    cluster = report["cluster"]
+    log(
+        f"  cluster x{cluster['workers']} on {cluster['cpu_count']} cpu(s): "
+        f"{cluster['single_process']['throughput_rps']:.1f} -> "
+        f"{cluster['cluster']['throughput_rps']:.1f} rps "
+        f"({cluster['cluster_speedup']}x) | chaos recovered="
+        f"{cluster['cluster_chaos'].get('chaos', {}).get('recovered')}"
+    )
     log("collecting traced rollup ...")
     report["telemetry"] = traced_rollup(args.circuits, config, args.partitions)
     deltas = deltas_vs_prev(report, load_prev(args.prev))

@@ -4,24 +4,29 @@
 Drives ``POST /diagnose`` with a configurable request rate (``--rps``;
 0 = closed-loop, as fast as ``--concurrency`` in-flight requests allow),
 collects exact client-side latencies, and writes a machine-readable
-report (default ``BENCH_PR3.json``) with throughput, p50/p95/p99 latency,
+report (default ``loadgen.json``) with throughput, p50/p95/p99 latency,
 per-code outcome counts and — when ``--baseline N`` is given — the
 measured speedup over ``N`` sequential one-shot CLI invocations (each of
 which re-pays interpreter start-up, netlist compile and golden
-simulation; the service pays them once).
+simulation; the service pays them once).  ``--duration S`` switches from
+a fixed request count to a fixed wall-clock window.
 
 ``--spawn`` makes the run self-contained: start a server subprocess, wait
 for ``/healthz``, apply the load, validate ``/metrics`` (well-formed JSON
 with queue/batching/latency sections), then SIGTERM it and record whether
 it drained and exited cleanly — exactly the sequence the CI smoke job
-runs.  ``--verify`` additionally checks determinism: every reply for a
-given fault index must be bit-identical across the run *and* equal to the
+runs.  ``--workers N`` spawns the prefork cluster instead of a single
+process, and ``--kill-one-at F`` injects chaos: at fraction F of the run
+one worker is ``kill -9``'d and the report records whether the supervisor
+respawned it (requests ride out the kill via transport retries).
+``--verify`` additionally checks determinism: every reply for a given
+fault index must be bit-identical across the run *and* equal to the
 direct in-process ``core.diagnosis`` result.
 
 Run:  PYTHONPATH=src python scripts/loadgen.py --requests 200
-          [--rps 0] [--concurrency 200] [--circuit s953]
-          [--spawn] [--baseline 5] [--verify] [--fail-on-5xx]
-          [--out BENCH_PR3.json]
+          [--duration S] [--rps 0] [--concurrency 200] [--circuit s953]
+          [--spawn] [--workers 4] [--kill-one-at 0.4]
+          [--baseline 5] [--verify] [--fail-on-5xx] [--out loadgen.json]
 """
 
 from __future__ import annotations
@@ -53,6 +58,9 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
                         help="server port (default REPRO_SERVE_PORT or 8953; "
                         "--spawn picks a free port automatically)")
     parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--duration", type=float, default=None, metavar="S",
+                        help="run for S seconds of wall clock instead of a "
+                        "fixed --requests count")
     parser.add_argument("--rps", type=float, default=0.0,
                         help="open-loop arrival rate; 0 = closed loop")
     parser.add_argument("--concurrency", type=int, default=200,
@@ -74,8 +82,27 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
     parser.add_argument("--batch-max", type=int, default=None)
     parser.add_argument("--batch-wait-ms", type=float, default=None)
     parser.add_argument("--queue-depth", type=int, default=None)
-    parser.add_argument("--out", default="BENCH_PR3.json")
-    return parser.parse_args(argv)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="with --spawn: server processes; >1 spawns the "
+                        "prefork cluster (serve --workers N)")
+    parser.add_argument("--heartbeat-s", type=float, default=0.25,
+                        help="cluster worker heartbeat interval (default "
+                        "0.25 for fast failure detection in smoke runs)")
+    parser.add_argument("--kill-one-at", type=float, default=None,
+                        metavar="FRAC",
+                        help="chaos: kill -9 one cluster worker once FRAC of "
+                        "the run has completed (0..1); requires --spawn and "
+                        "--workers > 1")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="client retries per request on transport errors "
+                        "(default 2 under --kill-one-at, else 0)")
+    parser.add_argument("--out", default="loadgen.json")
+    args = parser.parse_args(argv)
+    if args.kill_one_at is not None and (not args.spawn or args.workers < 2):
+        parser.error("--kill-one-at requires --spawn and --workers > 1")
+    if args.retries is None:
+        args.retries = 2 if args.kill_one_at is not None else 0
+    return args
 
 
 def free_port() -> int:
@@ -88,6 +115,10 @@ def spawn_server(args: argparse.Namespace) -> subprocess.Popen:
     cmd = [sys.executable, "-m", "repro.cli", "serve",
            "--host", args.host, "--port", str(args.port),
            "--prewarm", args.circuit]
+    if args.workers > 1:
+        cmd += ["--workers", str(args.workers),
+                "--control-port", str(args.control_port),
+                "--heartbeat-s", str(args.heartbeat_s)]
     if args.batch_max is not None:
         cmd += ["--batch-max", str(args.batch_max)]
     if args.batch_wait_ms is not None:
@@ -98,6 +129,79 @@ def spawn_server(args: argparse.Namespace) -> subprocess.Popen:
     env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
     return subprocess.Popen(cmd, env=env)
+
+
+def control_get(args: argparse.Namespace, path: str) -> Dict[str, Any]:
+    """GET a JSON payload from the cluster supervisor's control port."""
+    import http.client
+
+    conn = http.client.HTTPConnection(args.host, args.control_port, timeout=10)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return json.loads(response.read().decode("utf-8"))
+    finally:
+        conn.close()
+
+
+def wait_cluster_ready(args: argparse.Namespace,
+                       timeout_s: float = 240.0) -> None:
+    """Block until every cluster worker reports ready on the control port.
+
+    Workers accept traffic while still prewarming; the supervisor counts
+    them live only after the ``ready`` handshake (post-prewarm).  Gating
+    the clock on full liveness keeps throughput numbers from charging the
+    cluster for its siblings' cold compiles.
+    """
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            workers = control_get(args, "/healthz").get("workers", {})
+            if workers.get("live") == workers.get("configured"):
+                return
+        except (OSError, ValueError):
+            pass
+        time.sleep(0.1)
+    raise RuntimeError(
+        f"cluster: not all workers ready within {timeout_s:.0f}s")
+
+
+def chaos_kill_one(args: argparse.Namespace, progress,
+                   stop: threading.Event) -> Dict[str, Any]:
+    """Kill -9 one cluster worker at ``--kill-one-at`` of the run and wait
+    for the supervisor to respawn it (runs on its own thread)."""
+    result: Dict[str, Any] = {"requested_at": args.kill_one_at,
+                              "killed_pid": None, "recovered": False}
+    while progress() < args.kill_one_at and not stop.is_set():
+        time.sleep(0.02)
+    if stop.is_set():  # run finished before the trigger point
+        result["skipped"] = "run completed before kill point"
+        return result
+    try:
+        health = control_get(args, "/healthz")
+        live = [w for w in health.get("worker_table", [])
+                if w.get("state") == "ready" and w.get("pid")]
+        if not live:
+            result["error"] = "no live worker to kill"
+            return result
+        victim = live[0]["pid"]
+        result["killed_pid"] = victim
+        result["killed_at_progress"] = round(progress(), 3)
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            health = control_get(args, "/healthz")
+            pids = [w.get("pid") for w in health.get("worker_table", [])
+                    if w.get("state") == "ready"]
+            if len(pids) >= args.workers and victim not in pids:
+                result["recovered"] = True
+                result["recovered_s"] = round(
+                    time.monotonic() - (deadline - 30), 3)
+                break
+            time.sleep(0.1)
+    except Exception as exc:  # noqa: BLE001 - chaos must not crash the run
+        result["error"] = repr(exc)
+    return result
 
 
 class Outcome:
@@ -111,23 +215,44 @@ class Outcome:
         self.candidates = candidates
 
 
-def run_load(args: argparse.Namespace) -> List[Outcome]:
-    """Fire ``--requests`` diagnoses and collect every outcome."""
-    schedule: "Queue[int]" = Queue()
-    for k in range(args.requests):
-        schedule.put(k)
-    outcomes: List[Outcome] = []
+def run_load(args: argparse.Namespace,
+             outcomes: Optional[List[Outcome]] = None) -> List[Outcome]:
+    """Fire diagnoses (``--requests`` of them, or for ``--duration``
+    seconds) and collect every outcome.
+
+    ``outcomes`` may be passed in so observers (the chaos thread) can
+    watch progress live.
+    """
+    outcomes = [] if outcomes is None else outcomes
     lock = threading.Lock()
     t0 = time.monotonic()
+    deadline = t0 + args.duration if args.duration else None
+    schedule: "Queue[int]" = Queue()
+    counter = {"next": 0}
+    if deadline is None:
+        for k in range(args.requests):
+            schedule.put(k)
+
+    def next_index() -> Optional[int]:
+        if deadline is None:
+            try:
+                return schedule.get_nowait()
+            except Empty:
+                return None
+        if time.monotonic() >= deadline:
+            return None
+        with lock:
+            k = counter["next"]
+            counter["next"] = k + 1
+        return k
 
     def worker() -> None:
         client = ServiceClient(args.host, args.port,
                                timeout_s=args.timeout_ms / 1000 + 30)
         try:
             while True:
-                try:
-                    k = schedule.get_nowait()
-                except Empty:
+                k = next_index()
+                if k is None:
                     return
                 if args.rps > 0:
                     # Open loop: request k is *scheduled* at t0 + k/rps,
@@ -146,24 +271,38 @@ def run_load(args: argparse.Namespace) -> List[Outcome]:
                     "request_id": str(k),
                 }
                 started = time.monotonic()
-                try:
-                    reply = client.diagnose(payload)
-                    outcome = Outcome("ok", time.monotonic() - started,
-                                      fault_index,
-                                      tuple(reply.candidate_cells))
-                except ServiceError as exc:
-                    outcome = Outcome(exc.code, time.monotonic() - started,
-                                      fault_index)
-                except TransportError:
-                    outcome = Outcome("transport_error",
-                                      time.monotonic() - started, fault_index)
+                outcome: Optional[Outcome] = None
+                for attempt in range(args.retries + 1):
+                    try:
+                        reply = client.diagnose(payload)
+                        outcome = Outcome("ok", time.monotonic() - started,
+                                          fault_index,
+                                          tuple(reply.candidate_cells))
+                        break
+                    except ServiceError as exc:
+                        outcome = Outcome(exc.code,
+                                          time.monotonic() - started,
+                                          fault_index)
+                        break
+                    except TransportError:
+                        # A kill -9'd worker drops its connections; with a
+                        # shared listen port a fresh connect lands on a
+                        # live sibling, so retrying is safe and expected
+                        # under --kill-one-at.
+                        outcome = Outcome("transport_error",
+                                          time.monotonic() - started,
+                                          fault_index)
+                        if attempt < args.retries:
+                            time.sleep(0.05 * (attempt + 1))
                 with lock:
                     outcomes.append(outcome)
         finally:
             client.close()
 
+    limit = args.concurrency if deadline is not None else min(
+        args.concurrency, args.requests)
     threads = [threading.Thread(target=worker, daemon=True)
-               for _ in range(min(args.concurrency, args.requests))]
+               for _ in range(limit)]
     for t in threads:
         t.start()
     for t in threads:
@@ -279,20 +418,51 @@ def check_metrics(client: ServiceClient) -> Dict[str, Any]:
     }
 
 
+def check_cluster_metrics(args: argparse.Namespace) -> Dict[str, Any]:
+    """Validate the supervisor's aggregated control-port ``/metrics``."""
+    payload = control_get(args, "/metrics")
+    problems = []
+    for key in ("workers", "worker_table", "requests", "fleet_latency",
+                "registry"):
+        if key not in payload:
+            problems.append(f"missing {key!r}")
+    workers = payload.get("workers", {})
+    if workers.get("live", 0) < workers.get("quorum", 1):
+        problems.append(
+            f"live workers {workers.get('live')} below quorum "
+            f"{workers.get('quorum')}")
+    if not payload.get("requests", {}).get("ok"):
+        problems.append("fleet requests.ok is 0 after load")
+    total = payload.get("fleet_latency", {}).get("total", {})
+    if not total.get("count"):
+        problems.append("fleet_latency.total.count is 0 after load")
+    return {
+        "well_formed": not problems,
+        "problems": problems,
+        "workers": workers,
+        "worker_table": payload.get("worker_table"),
+        "requests": payload.get("requests"),
+        "fleet_latency": payload.get("fleet_latency"),
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = parse_args(argv)
     if args.port is None:
         args.port = free_port() if args.spawn else int(
             os.environ.get("REPRO_SERVE_PORT", "8953"))
+    args.control_port = free_port() if args.workers > 1 else None
     report: Dict[str, Any] = {
         "schema": "repro-loadgen-report",
-        "version": 1,
+        "version": 2,
         "python": platform.python_version(),
         "config": {
-            "requests": args.requests, "rps": args.rps,
+            "requests": args.requests, "duration_s": args.duration,
+            "rps": args.rps,
             "concurrency": args.concurrency, "circuit": args.circuit,
             "scheme": args.scheme, "fault_count": args.fault_count,
             "patterns": args.patterns, "timeout_ms": args.timeout_ms,
+            "workers": args.workers, "retries": args.retries,
         },
     }
     proc: Optional[subprocess.Popen] = None
@@ -302,13 +472,44 @@ def main(argv: Optional[List[str]] = None) -> int:
             proc = spawn_server(args)
         client = ServiceClient(args.host, args.port)
         client.wait_ready(timeout_s=120)
+        if args.spawn and args.workers > 1:
+            wait_cluster_ready(args)
+
+        outcomes: List[Outcome] = []
+        chaos_thread: Optional[threading.Thread] = None
+        chaos_result: Dict[str, Any] = {}
+        chaos_stop = threading.Event()
+        if args.kill_one_at is not None:
+            expected = args.requests
+
+            def progress() -> float:
+                if args.duration:
+                    return min(1.0, (time.monotonic() - started) / args.duration)
+                return len(outcomes) / expected if expected else 1.0
+
+            def chaos_runner() -> None:
+                chaos_result.update(chaos_kill_one(args, progress, chaos_stop))
+
+            chaos_thread = threading.Thread(target=chaos_runner, daemon=True)
 
         started = time.monotonic()
-        outcomes = run_load(args)
+        if chaos_thread is not None:
+            chaos_thread.start()
+        run_load(args, outcomes)
         wall_s = time.monotonic() - started
+        if chaos_thread is not None:
+            chaos_stop.set()
+            chaos_thread.join(timeout=60)
+            report["chaos"] = chaos_result
+            if not chaos_result.get("recovered") and \
+                    not chaos_result.get("skipped"):
+                failed = True
         report["service"] = summarize(outcomes, wall_s)
 
-        report["metrics_after"] = check_metrics(client)
+        if args.workers > 1:
+            report["metrics_after"] = check_cluster_metrics(args)
+        else:
+            report["metrics_after"] = check_metrics(client)
         if args.verify:
             report["determinism"] = verify_determinism(args, outcomes)
             if not report["determinism"]["ok"]:

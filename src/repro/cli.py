@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four entry points (also runnable as ``python -m repro.cli``):
+Entry points (also runnable as ``python -m repro.cli``):
 
 * ``repro-diagnose`` — inject sampled stuck-at faults into a benchmark
   circuit and report candidate failing scan cells / DR for a scheme.
@@ -12,7 +12,11 @@ Four entry points (also runnable as ``python -m repro.cli``):
 * ``repro-serve`` / ``python -m repro.cli serve`` — long-lived batching
   diagnosis server (:mod:`repro.service`): POST /diagnose, GET /healthz,
   GET /metrics; knobs via ``REPRO_SERVE_PORT``, ``REPRO_BATCH_MAX``,
-  ``REPRO_BATCH_WAIT_MS``, ``REPRO_QUEUE_DEPTH``.
+  ``REPRO_BATCH_WAIT_MS``, ``REPRO_QUEUE_DEPTH``.  ``--workers N`` (or
+  ``REPRO_CLUSTER_WORKERS``) with N > 1 runs the prefork cluster instead
+  (:mod:`repro.cluster`): N supervised server processes on one port.
+* ``repro-cluster`` — shorthand for ``repro serve --workers N`` with N
+  defaulting to ``REPRO_CLUSTER_WORKERS`` or the CPU count.
 * ``python -m repro.cli stats <manifest.json|trace.jsonl>`` — render the
   hot-path table and cache/pool summaries of a previous traced run.
 
@@ -565,6 +569,21 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     from .service.server import serve_main as _serve_main
 
     return _serve_main(argv)
+
+
+def cluster_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-cluster``: ``repro serve`` with the prefork
+    cluster on by default (``--workers`` falls back to
+    ``REPRO_CLUSTER_WORKERS`` or the CPU count instead of 1)."""
+    import os
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not any(arg == "--workers" or arg.startswith("--workers=")
+               for arg in argv):
+        default = os.environ.get("REPRO_CLUSTER_WORKERS", "").strip()
+        workers = int(default) if default else (os.cpu_count() or 2)
+        argv = ["--workers", str(max(2, workers))] + argv
+    return serve_main(argv)
 
 
 def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover

@@ -1,0 +1,78 @@
+"""Fleet-wide aggregation of per-worker telemetry snapshots.
+
+Workers ship two things in every heartbeat: their
+:class:`~repro.telemetry.metrics.MetricsRegistry` snapshot and their
+:class:`~repro.service.latency.LatencyBoard` raw state.  The supervisor
+keeps the latest pair per worker and, on every ``/metrics`` scrape, folds
+them into one fleet view:
+
+* counters sum, histograms merge count/sum/min/max
+  (:func:`repro.telemetry.merge_snapshots`);
+* gauges are relabeled ``{worker=<slot>}`` so per-process series
+  (RSS, queue depth, uptime) stay distinguishable instead of
+  last-writer-wins;
+* latency histograms merge **bucket-wise** — every process uses the same
+  log-bucket layout, so index-wise sums reproduce exactly the histogram
+  one process observing all samples would hold, and fleet p50/p95/p99 are
+  as accurate as single-process ones (:mod:`repro.service.latency`).
+
+The merged snapshot feeds both the JSON payload and the Prometheus text
+exposition (:func:`repro.telemetry.promexp.render_prometheus`), with the
+fleet latency boards rendered as real cumulative-``le`` histograms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..service import latency as latency_mod
+from ..telemetry import merge_snapshots
+
+
+def merge_worker_registries(
+    per_worker: Dict[str, Dict[str, Any]],
+    base: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One registry snapshot for the fleet (see module docstring)."""
+    return merge_snapshots(per_worker, base=base, gauge_label="worker")
+
+
+def merge_worker_latency(
+    per_worker: Dict[str, Dict[str, Dict[str, Any]]],
+) -> Dict[str, Dict[str, Any]]:
+    """Merge per-worker :meth:`LatencyBoard.state` dicts stage-wise."""
+    stages: Dict[str, List[Dict[str, Any]]] = {}
+    for board in per_worker.values():
+        for stage, state in (board or {}).items():
+            stages.setdefault(stage, []).append(state)
+    return {
+        stage: latency_mod.merge_states(states)
+        for stage, states in sorted(stages.items())
+    }
+
+
+def latency_summary(
+    merged: Dict[str, Dict[str, Any]],
+) -> Dict[str, Dict[str, float]]:
+    """p50/p95/p99 summaries per stage over merged latency states."""
+    return {
+        stage: latency_mod.state_summary(state)
+        for stage, state in sorted(merged.items())
+    }
+
+
+def latency_prometheus_series(
+    merged: Dict[str, Dict[str, Any]],
+) -> Tuple[Dict[str, List[Tuple[float, int]]], Dict[str, Tuple[float, int]]]:
+    """The ``(buckets, totals)`` pair
+    :func:`~repro.telemetry.promexp.render_prometheus` consumes, built
+    from merged latency states."""
+    buckets = {
+        stage: latency_mod.state_cumulative(state)
+        for stage, state in merged.items()
+    }
+    totals = {
+        stage: latency_mod.state_totals(state)
+        for stage, state in merged.items()
+    }
+    return buckets, totals

@@ -1,0 +1,180 @@
+"""Worker-process runtime for the prefork cluster.
+
+Each worker is a full :class:`~repro.service.server.DiagnosisServer`
+(its own event loop, batch queue, executor and fork pool) accepting on a
+socket shared with its siblings — either its own ``SO_REUSEPORT`` bind of
+the cluster port (the kernel load-balances accepts) or the supervisor's
+inherited listen FD.  On top of serving it runs exactly one extra task:
+the heartbeat loop, which ships liveness plus the worker's
+``MetricsRegistry`` snapshot and latency-board state to the supervisor
+over the control socket every ``heartbeat_s``.
+
+Lifecycle:
+
+* fork → reset inherited signal dispositions and the (supervisor-
+  polluted) metrics registry → bind/adopt the listen socket;
+* start serving → warm the disk-cache tier and prewarm circuits →
+  send ``ready`` (the supervisor counts a worker into quorum only after
+  this, so a rolling restart never routes to a cold process);
+* SIGTERM → drain (finish queued + in-flight batches, 503 new work) →
+  send ``drained`` → exit 0;
+* supervisor death (control socket EOF/EPIPE) → drain and exit, so
+  ``kill -9`` of the supervisor never leaves orphan accept loops.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import socket
+import time
+from typing import Any, Dict, Iterable, Optional
+
+from ..service.engine import DiagnosisEngine
+from ..service.protocol import DiagnoseRequest
+from ..service.server import DiagnosisServer
+from ..telemetry import METRICS, log
+from .control import encode_frame
+
+#: Signals whose inherited dispositions a fresh worker resets.
+_RESET_SIGNALS = ("SIGTERM", "SIGINT", "SIGHUP", "SIGCHLD", "SIGUSR1")
+
+
+def bind_reuseport(host: str, port: int) -> socket.socket:
+    """A worker-owned listen socket on the shared cluster port."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+def worker_main(
+    slot: int,
+    control_sock: socket.socket,
+    *,
+    host: str,
+    port: int,
+    sharing: str,
+    listen_sock: Optional[socket.socket] = None,
+    server_kwargs: Optional[Dict[str, Any]] = None,
+    engine_kwargs: Optional[Dict[str, Any]] = None,
+    heartbeat_s: float = 1.0,
+    prewarm: Iterable[str] = (),
+    disk_warm: bool = True,
+) -> int:
+    """Run one cluster worker to completion; returns the exit code.
+
+    Called in the child immediately after ``fork`` (the supervisor's
+    default spawn path) with either ``listen_sock`` (inherited-FD
+    sharing) or ``sharing="reuseport"`` (the worker binds its own).
+    """
+    for name in _RESET_SIGNALS:
+        signum = getattr(signal, name, None)
+        if signum is not None:
+            signal.signal(signum, signal.SIG_DFL)
+    # The forked registry carries the supervisor's cluster gauges; reset
+    # so heartbeat snapshots describe only this worker's own activity.
+    METRICS.reset()
+
+    if sharing == "reuseport":
+        sock = bind_reuseport(host, port)
+    elif listen_sock is not None:
+        sock = listen_sock
+    else:
+        raise ValueError(f"sharing={sharing!r} requires a listen socket")
+
+    engine = DiagnosisEngine(**(engine_kwargs or {}))
+    server = DiagnosisServer(
+        host=host, port=port, engine=engine, sock=sock,
+        **(server_kwargs or {}),
+    )
+    try:
+        return asyncio.run(_run_worker(
+            slot, control_sock, server, engine,
+            heartbeat_s=heartbeat_s, prewarm=tuple(prewarm or ()),
+            disk_warm=disk_warm,
+        ))
+    finally:
+        control_sock.close()
+
+
+async def _run_worker(
+    slot: int,
+    control_sock: socket.socket,
+    server: DiagnosisServer,
+    engine: DiagnosisEngine,
+    *,
+    heartbeat_s: float,
+    prewarm: Iterable[str],
+    disk_warm: bool,
+) -> int:
+    loop = asyncio.get_event_loop()
+    control_sock.setblocking(False)
+    send_lock = asyncio.Lock()
+
+    async def send(message: Dict[str, Any]) -> bool:
+        message.setdefault("slot", slot)
+        message.setdefault("pid", os.getpid())
+        try:
+            async with send_lock:
+                await loop.sock_sendall(control_sock, encode_frame(message))
+            return True
+        except (ConnectionError, BrokenPipeError, OSError):
+            return False
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(
+            signum, lambda: asyncio.ensure_future(server.shutdown(drain=True))
+        )
+
+    await server.start()
+    if disk_warm:
+        await loop.run_in_executor(None, engine.warm_from_disk)
+    for circuit in prewarm:
+        request = DiagnoseRequest.from_payload(
+            {"circuit": circuit, "fault_index": 0})
+        await loop.run_in_executor(None, engine.prewarm, request)
+        log(f"cluster[{slot}]: prewarmed {circuit}")
+    if not await send({"type": "ready", "port": server.port}):
+        log(f"cluster[{slot}]: supervisor gone before ready; exiting")
+        await server.shutdown(drain=False)
+        return 0
+    log(f"cluster[{slot}]: ready on port {server.port} (pid {os.getpid()})")
+
+    async def heartbeat_loop() -> None:
+        seq = 0
+        while True:
+            seq += 1
+            alive = await send({
+                "type": "heartbeat",
+                "seq": seq,
+                "uptime_s": round(time.monotonic() - server.started_at, 3),
+                "draining": server.draining,
+                "inflight": server._inflight,
+                "queue_depth": server.queue.depth,
+                "requests": dict(server._request_counts),
+                "metrics": METRICS.snapshot(),
+                "latency": server.latency.state(),
+            })
+            if not alive:
+                # Supervisor died; drain and exit instead of serving as
+                # an unsupervised orphan.
+                log(f"cluster[{slot}]: control channel closed; draining")
+                asyncio.ensure_future(server.shutdown(drain=True))
+                return
+            await asyncio.sleep(heartbeat_s)
+
+    heartbeat = asyncio.ensure_future(heartbeat_loop())
+    try:
+        await server.serve_forever()
+    finally:
+        heartbeat.cancel()
+        await asyncio.gather(heartbeat, return_exceptions=True)
+    await send({"type": "drained"})
+    return 0

@@ -23,9 +23,12 @@ and golden-simulation planes are wired straight onto the page cache
 instead of being copied through the pickle stream — repeated cold starts
 touch only the pages they read.
 
-Writes are atomic (temp file + ``os.replace``) so concurrent processes
-can share one cache directory; the digest covers the kind, the full memo
-key and the schema version, so any config change simply misses.  Corrupt,
+Writes are atomic and multi-writer safe (pid-tagged ``O_EXCL`` temp file
++ ``os.replace``) so concurrent processes — cluster workers warming the
+same circuits included — can share one cache directory; losing a write
+race to a sibling is a benign hit (``cache.disk.races``), since the
+digest covers the kind, the full memo key and the schema version and any
+config change simply misses.  Corrupt,
 truncated or stale-format files are treated as misses, counted
 (``cache.disk.errors``) and quarantined — never a traceback.
 """
@@ -65,7 +68,7 @@ _SUFFIX = ".rpdc"
 _PREAMBLE = struct.Struct("<4sII")  # magic, format version, header length
 
 _LOCK = threading.Lock()
-_STATS = {"hits": 0, "misses": 0, "errors": 0,
+_STATS = {"hits": 0, "misses": 0, "errors": 0, "races": 0,
           "bytes_read": 0, "bytes_written": 0}
 
 
@@ -201,8 +204,21 @@ def store(kind: str, key: Hashable, value: Any) -> bool:
         }
         header = json.dumps(meta, separators=(",", ":")).encode("utf-8")
         path = entry_path(root, kind, key)
+        if path.exists():
+            # Another process (e.g. a sibling cluster worker warming the
+            # same circuit) already published this entry.  The digest
+            # covers kind + key + schema, so the contents are identical —
+            # losing the race is a benign hit, not a failure.
+            _bump("races")
+            METRICS.incr("cache.disk.races", 1, labels={"kind": kind})
+            debug(f"disk cache: lost write race for {path.name} (benign)")
+            return True
+        # mkstemp opens with O_EXCL and a random component; the pid in the
+        # prefix keeps names from many concurrent writer processes disjoint
+        # even under pathological RNG collisions, and makes leftover temp
+        # files attributable.
         fd, tmp_name = tempfile.mkstemp(
-            prefix=f".tmp-{kind}-", suffix=_SUFFIX, dir=root
+            prefix=f".tmp-{kind}-{os.getpid()}-", suffix=_SUFFIX, dir=root
         )
         try:
             with os.fdopen(fd, "wb") as out:

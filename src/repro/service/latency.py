@@ -114,6 +114,25 @@ class LatencyHistogram:
         with self._lock:
             return self._sum, self._count
 
+    def state(self) -> Dict[str, object]:
+        """JSON-ready raw state for cross-process merging.
+
+        Unlike :meth:`summary` (quantiles) and :meth:`cumulative_buckets`
+        (cumulative counts), this keeps the **sparse per-bucket counts**,
+        which is the only shape that merges losslessly: cluster workers
+        ship it over the control channel and the supervisor adds the
+        buckets index-wise (see :func:`merge_states`).
+        """
+        with self._lock:
+            return {
+                "buckets": {
+                    str(i): n for i, n in enumerate(self._buckets) if n
+                },
+                "count": self._count,
+                "sum": self._sum,
+                "max": self._max,
+            }
+
     def reset(self) -> None:
         with self._lock:
             self._buckets = [0] * _NUM_BUCKETS
@@ -149,6 +168,91 @@ class LatencyBoard:
         totals = {name: hist.totals() for name, hist in self._hists.items()}
         return buckets, totals
 
+    def state(self) -> Dict[str, Dict[str, object]]:
+        """Raw mergeable state per stage (see :meth:`LatencyHistogram.state`)."""
+        return {name: hist.state() for name, hist in sorted(self._hists.items())}
+
     def reset(self) -> None:
         for hist in self._hists.values():
             hist.reset()
+
+
+# -- mergeable-state algebra (cluster fleet aggregation) ----------------------
+
+
+def empty_state() -> Dict[str, object]:
+    return {"buckets": {}, "count": 0, "sum": 0.0, "max": 0.0}
+
+
+def merge_states(states: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Bucket-wise sum of :meth:`LatencyHistogram.state` dicts.
+
+    Because every process uses the identical log-bucket layout, adding the
+    sparse counts index-wise reproduces exactly the histogram one process
+    observing the union of all samples would hold — fleet quantiles come
+    out as accurate as single-process ones.
+    """
+    merged = empty_state()
+    buckets: Dict[str, int] = merged["buckets"]  # type: ignore[assignment]
+    for state in states:
+        if not state:
+            continue
+        for index, n in (state.get("buckets") or {}).items():
+            buckets[str(index)] = buckets.get(str(index), 0) + int(n)
+        merged["count"] += int(state.get("count", 0))
+        merged["sum"] += float(state.get("sum", 0.0))
+        merged["max"] = max(merged["max"], float(state.get("max", 0.0)))
+    return merged
+
+
+def state_cumulative(state: Dict[str, object]) -> List[Tuple[float, int]]:
+    """``(upper_bound_s, cumulative_count)`` series from a merged state —
+    the shape :func:`repro.telemetry.promexp.render_prometheus` consumes."""
+    out: List[Tuple[float, int]] = []
+    cum = 0
+    counts = state.get("buckets") or {}
+    for index in sorted(counts, key=int):
+        cum += int(counts[index])
+        out.append((_bucket_upper_s(int(index)), cum))
+    return out
+
+
+def state_totals(state: Dict[str, object]) -> Tuple[float, int]:
+    return float(state.get("sum", 0.0)), int(state.get("count", 0))
+
+
+def state_quantile(state: Dict[str, object], q: float) -> Optional[float]:
+    """Quantile estimate over a (merged) state, matching
+    :meth:`LatencyHistogram.quantile` semantics."""
+    if not 0 < q <= 1:
+        raise ValueError("quantile must be in (0, 1]")
+    count = int(state.get("count", 0))
+    if not count:
+        return None
+    rank = math.ceil(q * count)
+    seen = 0
+    counts = state.get("buckets") or {}
+    peak = float(state.get("max", 0.0))
+    for index in sorted(counts, key=int):
+        seen += int(counts[index])
+        if seen >= rank:
+            return min(_bucket_upper_s(int(index)), peak)
+    return peak
+
+
+def state_summary(
+    state: Dict[str, object], quantiles: Sequence[float] = (0.5, 0.95, 0.99)
+) -> Dict[str, float]:
+    """The :meth:`LatencyHistogram.summary` shape over a merged state."""
+    count = int(state.get("count", 0))
+    total = float(state.get("sum", 0.0))
+    out: Dict[str, float] = {
+        "count": count,
+        "sum_ms": round(total * 1000, 3),
+        "mean_ms": round(total / count * 1000, 3) if count else 0.0,
+        "max_ms": round(float(state.get("max", 0.0)) * 1000, 3),
+    }
+    for q in quantiles:
+        value = state_quantile(state, q)
+        out[f"p{int(q * 100)}_ms"] = round(value * 1000, 3) if value else 0.0
+    return out

@@ -42,11 +42,12 @@ import asyncio
 import json
 import os
 import signal
+import socket
 import sys
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 from urllib.parse import parse_qs
 
 from ..experiments import cache
@@ -128,9 +129,22 @@ class DiagnosisServer:
         dispatchers: int = 1,
         default_timeout_ms: Optional[float] = 30_000.0,
         drain_grace_s: float = 10.0,
+        sock: Optional[socket.socket] = None,
+        on_ready: Optional[Callable[["DiagnosisServer"], None]] = None,
+        on_drained: Optional[Callable[["DiagnosisServer"], None]] = None,
     ):
         self.host = host
         self.port = DEFAULT_PORT if port is None else port
+        #: Pre-bound listen socket (prefork cluster workers inherit one
+        #: from the supervisor or bind their own ``SO_REUSEPORT`` copy);
+        #: when given, ``host``/``port`` are informational only.
+        self.sock = sock
+        #: Lifecycle hooks for embedding supervisors: ``on_ready`` fires
+        #: once the socket is accepting, ``on_drained`` after a drain
+        #: completed (both called on the event-loop thread, never raised
+        #: through the server).
+        self.on_ready = on_ready
+        self.on_drained = on_drained
         self.engine = engine or DiagnosisEngine()
         self.batch_max = batch_max if batch_max is not None else _env_int(
             "REPRO_BATCH_MAX", 32)
@@ -161,10 +175,20 @@ class DiagnosisServer:
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind and start serving (returns once the socket is listening)."""
-        self._server = await asyncio.start_server(
-            self._serve_connection, self.host, self.port
-        )
+        """Bind and start serving (returns once the socket is listening).
+
+        With ``sock`` the server adopts the pre-bound socket instead of
+        binding ``host:port`` itself — the prefork path, where the
+        supervisor owns the bind and workers only accept.
+        """
+        if self.sock is not None:
+            self._server = await asyncio.start_server(
+                self._serve_connection, sock=self.sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._serve_connection, self.host, self.port
+            )
         self.port = self._server.sockets[0].getsockname()[1]
         for _ in range(self.dispatchers):
             self._dispatcher_tasks.append(
@@ -174,6 +198,7 @@ class DiagnosisServer:
             f"(batch_max={self.batch_max}, "
             f"wait={self.queue.batch_wait_s * 1000:.0f}ms, "
             f"queue_depth={self.queue.max_depth})")
+        self._fire_hook(self.on_ready)
 
     async def serve_forever(self) -> None:
         await self._stopped.wait()
@@ -207,6 +232,15 @@ class DiagnosisServer:
         self._executor.shutdown(wait=True)
         self._stopped.set()
         log("service: drained and stopped")
+        self._fire_hook(self.on_drained)
+
+    def _fire_hook(self, hook: Optional[Callable[["DiagnosisServer"], None]]) -> None:
+        if hook is None:
+            return
+        try:
+            hook(self)
+        except Exception as exc:  # noqa: BLE001 - hooks must not kill serving
+            log(f"service: lifecycle hook raised: {exc!r}")
 
     @property
     def draining(self) -> bool:
@@ -561,7 +595,7 @@ class ThreadedServer:
 
 async def _serve(args: argparse.Namespace) -> int:
     engine = DiagnosisEngine(
-        workers=args.workers,
+        workers=args.pool_workers,
         max_cache_bytes=args.max_cache_bytes,
     )
     server = DiagnosisServer(
@@ -618,7 +652,12 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
                         "(default REPRO_QUEUE_DEPTH or 256)")
     parser.add_argument("--dispatchers", type=int, default=1,
                         help="concurrent batch executors (default 1)")
-    parser.add_argument("--workers", type=int, default=None,
+    parser.add_argument("--workers", type=int,
+                        default=_env_int("REPRO_CLUSTER_WORKERS", 1),
+                        help="server processes to run; >1 starts the prefork "
+                        "cluster supervisor (default REPRO_CLUSTER_WORKERS "
+                        "or 1)")
+    parser.add_argument("--pool-workers", type=int, default=None,
                         help="fork-pool size per batch (default REPRO_WORKERS)")
     parser.add_argument("--max-cache-bytes", type=int, default=None,
                         help="LRU budget for resident compiled workloads")
@@ -630,8 +669,51 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-disk-warm", action="store_true",
                         help="skip loading the REPRO_DISK_CACHE tier into "
                         "memory at startup")
+    cluster = parser.add_argument_group(
+        "cluster", "options that only apply with --workers > 1")
+    cluster.add_argument("--control-port", type=int,
+                         default=_env_int("REPRO_CLUSTER_CONTROL_PORT", 0) or None,
+                         help="supervisor /healthz + aggregated /metrics port "
+                         "(default REPRO_CLUSTER_CONTROL_PORT, or service "
+                         "port + 1)")
+    cluster.add_argument("--sharing", choices=("auto", "reuseport", "inherit"),
+                         default="auto",
+                         help="listen-socket sharing: SO_REUSEPORT per worker "
+                         "or one inherited FD (default auto)")
+    cluster.add_argument("--heartbeat-s", type=float, default=1.0,
+                         help="worker heartbeat interval (default 1.0)")
     args = parser.parse_args(argv)
+    if args.workers > 1:
+        return _serve_cluster(args)
     try:
         return asyncio.run(_serve(args))
     except KeyboardInterrupt:  # pragma: no cover - direct ^C race
         return 0
+
+
+def _serve_cluster(args: argparse.Namespace) -> int:
+    """Dispatch ``repro serve --workers N`` to the prefork supervisor."""
+    from ..cluster.supervisor import run_cluster
+
+    return run_cluster(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        control_port=args.control_port,
+        sharing=args.sharing,
+        heartbeat_s=args.heartbeat_s,
+        drain_grace_s=max(args.drain_grace_s + 5.0, 15.0),
+        server_kwargs=dict(
+            batch_max=args.batch_max,
+            batch_wait_ms=args.batch_wait_ms,
+            queue_depth=args.queue_depth,
+            dispatchers=args.dispatchers,
+            drain_grace_s=args.drain_grace_s,
+        ),
+        engine_kwargs=dict(
+            workers=args.pool_workers,
+            max_cache_bytes=args.max_cache_bytes,
+        ),
+        prewarm=tuple(args.prewarm or ()),
+        disk_warm=not args.no_disk_warm,
+    )

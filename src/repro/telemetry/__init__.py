@@ -34,7 +34,14 @@ from .export import (
     write_trace_jsonl,
 )
 from .log import debug, log, log_level, set_log_level, warn_env_once
-from .metrics import METRICS, Histogram, MetricsRegistry, metric_key, split_metric_key
+from .metrics import (
+    METRICS,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    metric_key,
+    split_metric_key,
+)
 from .profiler import (
     PROFILER,
     ProfileData,
@@ -88,6 +95,7 @@ __all__ = [
     "kernel_selection",
     "log",
     "log_level",
+    "merge_snapshots",
     "metric_key",
     "print_span_tree",
     "profile_enabled",

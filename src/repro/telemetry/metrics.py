@@ -200,5 +200,56 @@ class MetricsRegistry:
             self._histograms.clear()
 
 
+def merge_snapshots(
+    snapshots: Dict[str, Dict[str, Any]],
+    base: Optional[Dict[str, Any]] = None,
+    gauge_label: Optional[str] = "worker",
+) -> Dict[str, Any]:
+    """Merge registry **snapshots** from several processes into one.
+
+    This is the fleet-aggregation counterpart of
+    :meth:`MetricsRegistry.merge`, operating on plain snapshot dicts so
+    the supervisor never has to instantiate a registry per worker:
+
+    * counters sum across sources;
+    * histograms merge count/sum and take the min/max envelope;
+    * gauges are **relabeled** with ``gauge_label=<source>`` (a gauge like
+      ``process.rss_bytes`` from two workers must not last-writer-wins —
+      per-source series are the only honest aggregate).  Pass
+      ``gauge_label=None`` to fall back to last-writer-wins.
+
+    ``base`` (e.g. the supervisor's own snapshot) seeds the result and is
+    never relabeled.  Inputs are not mutated.
+    """
+    merged: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    if base:
+        merged["counters"].update(base.get("counters", {}))
+        merged["gauges"].update(base.get("gauges", {}))
+        merged["histograms"].update(
+            {k: dict(v) for k, v in base.get("histograms", {}).items()}
+        )
+    for source in sorted(snapshots):
+        snap = snapshots[source] or {}
+        for key, value in snap.get("counters", {}).items():
+            merged["counters"][key] = merged["counters"].get(key, 0) + value
+        for key, value in snap.get("gauges", {}).items():
+            if gauge_label is None:
+                merged["gauges"][key] = value
+            else:
+                name, labels = split_metric_key(key)
+                labels[gauge_label] = source
+                merged["gauges"][metric_key(name, labels)] = value
+        for key, data in snap.get("histograms", {}).items():
+            into = merged["histograms"].get(key)
+            if into is None:
+                merged["histograms"][key] = dict(data)
+                continue
+            hist = Histogram()
+            hist.merge(into)
+            hist.merge(data)
+            merged["histograms"][key] = hist.to_dict()
+    return merged
+
+
 #: Process-wide registry used by all pipeline instrumentation.
 METRICS = MetricsRegistry()

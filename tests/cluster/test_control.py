@@ -1,0 +1,88 @@
+"""Tests for the framed-JSON control channel (cluster/control.py)."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.cluster.control import (
+    ControlChannelError,
+    FrameDecoder,
+    MAX_FRAME_BYTES,
+    encode_frame,
+    send_message,
+)
+
+
+class TestRoundTrip:
+    def test_single_message(self):
+        message = {"type": "heartbeat", "seq": 7, "uptime_s": 1.25}
+        frames = FrameDecoder().feed(encode_frame(message))
+        assert frames == [message]
+
+    def test_multiple_messages_in_one_feed(self):
+        messages = [{"type": "ready", "slot": i} for i in range(5)]
+        blob = b"".join(encode_frame(m) for m in messages)
+        assert FrameDecoder().feed(blob) == messages
+
+    def test_byte_by_byte_feed(self):
+        message = {"type": "heartbeat", "metrics": {"counters": {"a{b=c}": 2}}}
+        decoder = FrameDecoder()
+        blob = encode_frame(message)
+        out = []
+        for i in range(len(blob)):
+            out.extend(decoder.feed(blob[i:i + 1]))
+        assert out == [message]
+        assert decoder.pending_bytes == 0
+
+    def test_split_across_frame_boundary(self):
+        first, second = {"type": "ready"}, {"type": "drained"}
+        blob = encode_frame(first) + encode_frame(second)
+        decoder = FrameDecoder()
+        cut = len(encode_frame(first)) + 2  # mid-way into the second frame
+        got = decoder.feed(blob[:cut])
+        got += decoder.feed(blob[cut:])
+        assert got == [first, second]
+
+    def test_unicode_payload(self):
+        message = {"type": "log", "text": "café ≠ caffe"}
+        assert FrameDecoder().feed(encode_frame(message)) == [message]
+
+    def test_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            send_message(left, {"type": "ready", "slot": 3})
+            send_message(left, {"type": "heartbeat", "seq": 1})
+            decoder = FrameDecoder()
+            messages = []
+            while len(messages) < 2:
+                messages.extend(decoder.feed(right.recv(4096)))
+            assert [m["type"] for m in messages] == ["ready", "heartbeat"]
+        finally:
+            left.close()
+            right.close()
+
+
+class TestRejection:
+    def test_oversized_frame_raises(self):
+        header = struct.pack("<I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(ControlChannelError, match="frame"):
+            FrameDecoder().feed(header)
+
+    def test_garbled_payload_raises(self):
+        payload = b"this is not json"
+        blob = struct.pack("<I", len(payload)) + payload
+        with pytest.raises(ControlChannelError):
+            FrameDecoder().feed(blob)
+
+    def test_non_object_payload_raises(self):
+        payload = b"[1, 2, 3]"
+        blob = struct.pack("<I", len(payload)) + payload
+        with pytest.raises(ControlChannelError):
+            FrameDecoder().feed(blob)
+
+    def test_partial_frame_reports_pending(self):
+        blob = encode_frame({"type": "ready"})
+        decoder = FrameDecoder()
+        assert decoder.feed(blob[:3]) == []
+        assert decoder.pending_bytes == 3

@@ -1,0 +1,233 @@
+"""Supervisor tests over tiny fake workers (forked, no real servers).
+
+Each fake worker entry runs in a forked child and speaks the control
+protocol; the supervisor's selectors loop runs on a background thread
+with signal installation off, driven through ``request_drain()`` /
+``request_rolling_restart()``.
+"""
+
+import json
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cluster import BROKEN, READY, ClusterSupervisor
+from repro.cluster.control import send_message
+
+pytestmark = pytest.mark.skipif(not hasattr(os, "fork"),
+                                reason="prefork cluster needs os.fork")
+
+
+def obedient_entry(index, control_sock):
+    """Heartbeats until SIGTERM, then drains and exits 0."""
+    stop = []
+    signal.signal(signal.SIGTERM, lambda *_: stop.append(1))
+    send_message(control_sock, {"type": "ready", "slot": index,
+                                "pid": os.getpid(), "port": 40000 + index})
+    seq = 0
+    while not stop:
+        seq += 1
+        try:
+            send_message(control_sock, {
+                "type": "heartbeat", "slot": index, "seq": seq,
+                "uptime_s": seq * 0.03, "draining": False,
+                "requests": {"ok": 1},
+                "metrics": {
+                    "counters": {"service.requests{code=ok}": 1},
+                    "gauges": {"process.rss_bytes": 1000 + index},
+                    "histograms": {},
+                },
+                "latency": {"total": {"buckets": {"8": 1}, "count": 1,
+                                      "sum": 0.002, "max": 0.002}},
+            })
+        except OSError:
+            return 0
+        time.sleep(0.03)
+    try:
+        send_message(control_sock, {"type": "drained", "slot": index})
+    except OSError:
+        pass
+    return 0
+
+
+def crashy_entry(index, control_sock):
+    """Dies immediately — the crash-loop case."""
+    return 3
+
+
+def wait_until(predicate, timeout=15.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def http_get(port, path):
+    with socket.create_connection(("127.0.0.1", port), timeout=5) as sock:
+        sock.sendall(f"GET {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+        data = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    head, _, body = data.partition(b"\r\n\r\n")
+    return int(head.split(b" ")[1]), body
+
+
+@pytest.fixture
+def cluster():
+    """Factory: a started supervisor + its run() thread; drains on teardown."""
+    running = []
+
+    def _start(**kwargs):
+        kwargs.setdefault("host", "127.0.0.1")
+        kwargs.setdefault("port", 0)
+        kwargs.setdefault("heartbeat_s", 0.05)
+        kwargs.setdefault("worker_entry", obedient_entry)
+        supervisor = ClusterSupervisor(**kwargs)
+        supervisor.start()
+        result = {}
+        thread = threading.Thread(
+            target=lambda: result.update(code=supervisor.run()), daemon=True)
+        thread.start()
+        running.append((supervisor, thread))
+        return supervisor, thread, result
+
+    yield _start
+    for supervisor, thread in running:
+        if thread.is_alive():
+            supervisor.request_drain()
+            thread.join(20)
+
+
+def all_ready(supervisor):
+    return all(slot.state == READY for slot in supervisor.slots)
+
+
+class TestFleetHealth:
+    def test_quorum_healthz_and_aggregated_metrics(self, cluster):
+        supervisor, _, _ = cluster(workers=2)
+        assert wait_until(lambda: all_ready(supervisor))
+
+        status, body = http_get(supervisor.control_port, "/healthz")
+        health = json.loads(body)
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["workers"] == {"configured": 2, "live": 2, "quorum": 1}
+        assert len(health["worker_table"]) == 2
+
+        assert wait_until(lambda: all(s.metrics for s in supervisor.slots))
+        status, body = http_get(supervisor.control_port, "/metrics")
+        metrics = json.loads(body)
+        assert status == 200
+        # Counters from both workers sum; per-worker gauges stay apart.
+        registry = metrics["registry"]
+        assert registry["counters"]["service.requests{code=ok}"] == 2
+        assert "process.rss_bytes{worker=0}" in registry["gauges"]
+        assert "process.rss_bytes{worker=1}" in registry["gauges"]
+        assert registry["gauges"]["cluster.worker.up{worker=0}"] == 1
+        # Fleet latency merged bucket-wise across both boards.
+        assert metrics["fleet_latency"]["total"]["count"] == 2
+        assert metrics["requests"]["ok"] == 2
+
+    def test_prometheus_exposition(self, cluster):
+        supervisor, _, _ = cluster(workers=2)
+        assert wait_until(lambda: all(s.metrics for s in supervisor.slots))
+        status, body = http_get(supervisor.control_port,
+                                "/metrics?format=prometheus")
+        text = body.decode()
+        assert status == 200
+        assert 'repro_cluster_worker_up{worker="0"} 1' in text
+        assert 'repro_cluster_worker_restarts{worker="1"} 0' in text
+        assert "repro_service_requests_total" in text
+        assert 'repro_service_request_seconds_bucket' in text
+
+    def test_unknown_route_404(self, cluster):
+        supervisor, _, _ = cluster(workers=1)
+        assert wait_until(lambda: all_ready(supervisor))
+        status, _ = http_get(supervisor.control_port, "/nope")
+        assert status == 404
+
+
+class TestRespawn:
+    def test_kill_minus_nine_respawns(self, cluster):
+        supervisor, _, _ = cluster(workers=2, backoff_base_s=0.05,
+                                   min_uptime_s=0.3)
+        assert wait_until(lambda: all_ready(supervisor))
+        victim = supervisor.slots[0].pid
+        os.kill(victim, signal.SIGKILL)
+        assert wait_until(
+            lambda: supervisor.slots[0].state == READY
+            and supervisor.slots[0].pid != victim)
+        assert supervisor.slots[0].restarts == 1
+        status, body = http_get(supervisor.control_port, "/healthz")
+        assert status == 200
+        assert json.loads(body)["workers"]["live"] == 2
+
+    def test_crash_loop_trips_breaker_and_exits_1(self):
+        supervisor = ClusterSupervisor(
+            host="127.0.0.1", port=0, workers=2,
+            worker_entry=crashy_entry,
+            backoff_base_s=0.02, backoff_cap_s=0.05,
+            breaker_threshold=2, heartbeat_s=0.05,
+        )
+        supervisor.start()
+        code = supervisor.run()  # returns once every slot is broken
+        assert code == 1
+        assert all(slot.state == BROKEN for slot in supervisor.slots)
+        # restarts counts unplanned exits: breaker_threshold of them
+        # (initial spawn's crash + one respawn's crash), then no more.
+        assert all(slot.restarts == 2 for slot in supervisor.slots)
+
+    def test_healthz_503_below_quorum(self, cluster):
+        supervisor, _, _ = cluster(workers=2, quorum=2,
+                                   backoff_base_s=5.0, min_uptime_s=30.0)
+        assert wait_until(lambda: all_ready(supervisor))
+        # min_uptime 30s makes the kill a "fast exit" -> 5s backoff, so
+        # the fleet stays at 1/2 long enough to observe 503.
+        os.kill(supervisor.slots[0].pid, signal.SIGKILL)
+        assert wait_until(lambda: supervisor.live_workers() == 1)
+        status, body = http_get(supervisor.control_port, "/healthz")
+        assert status == 503
+        assert json.loads(body)["status"] == "unhealthy"
+
+
+class TestGracefulOps:
+    def test_drain_exits_zero(self, cluster):
+        supervisor, thread, result = cluster(workers=2)
+        assert wait_until(lambda: all_ready(supervisor))
+        supervisor.request_drain()
+        thread.join(20)
+        assert not thread.is_alive()
+        assert result["code"] == 0
+
+    def test_rolling_restart_replaces_all_never_below_n_minus_1(self, cluster):
+        supervisor, _, _ = cluster(workers=3)
+        assert wait_until(lambda: all_ready(supervisor))
+        before = [slot.pid for slot in supervisor.slots]
+        min_live = [len(before)]
+
+        def watch():
+            while not done.is_set():
+                min_live[0] = min(min_live[0], supervisor.live_workers())
+                time.sleep(0.005)
+
+        done = threading.Event()
+        watcher = threading.Thread(target=watch, daemon=True)
+        watcher.start()
+        supervisor.request_rolling_restart()
+        rolled = wait_until(
+            lambda: all(slot.state == READY and slot.pid not in before
+                        for slot in supervisor.slots),
+            timeout=30)
+        done.set()
+        watcher.join(5)
+        assert rolled
+        assert min_live[0] >= len(before) - 1

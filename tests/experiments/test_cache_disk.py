@@ -132,6 +132,59 @@ class TestCorruption:
         assert not cache_disk.store("workload", ("k", 2), sample_value())
 
 
+class TestConcurrentWriters:
+    def test_lost_write_race_is_benign_hit(self, disk_root):
+        key = ("s27", 1.0, 64, 0, 77)
+        assert cache_disk.store("workload", key, sample_value(1))
+        # Second writer of the same content-addressed entry loses the
+        # race: no rewrite, success reported, race counted.
+        assert cache_disk.store("workload", key, sample_value(1))
+        stats = cache_disk.stats()
+        assert stats["races"] == 1
+        loaded, hit = cache_disk.load("workload", key)
+        assert hit and loaded["name"] == "entry-1"
+
+    def test_temp_names_carry_pid(self, disk_root, monkeypatch):
+        captured = {}
+        real_mkstemp = cache_disk.tempfile.mkstemp
+
+        def spy(**kwargs):
+            captured.update(kwargs)
+            return real_mkstemp(**kwargs)
+
+        monkeypatch.setattr(cache_disk.tempfile, "mkstemp", spy)
+        cache_disk.store("workload", ("pid-check", 1), sample_value())
+        assert f"-{os.getpid()}-" in captured["prefix"]
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="needs os.fork")
+    def test_many_processes_store_same_key(self, disk_root):
+        key = ("s953", 1.0, 128, 7, 400)
+        value = sample_value(9)
+        pids = []
+        for _ in range(4):
+            pid = os.fork()
+            if pid == 0:
+                ok = False
+                try:
+                    ok = cache_disk.store("workload", key, value)
+                finally:
+                    os._exit(0 if ok else 1)
+            pids.append(pid)
+        for pid in pids:
+            _, status = os.waitpid(pid, 0)
+            assert os.waitstatus_to_exitcode(status) == 0
+        # Exactly one entry, intact, and no leaked temp files.
+        entries = [p for p in disk_root.iterdir()
+                   if not p.name.startswith(".tmp-")]
+        assert len(entries) == 1
+        leftovers = [p for p in disk_root.iterdir()
+                     if p.name.startswith(".tmp-")]
+        assert leftovers == []
+        loaded, hit = cache_disk.load("workload", key)
+        assert hit
+        assert np.array_equal(loaded["matrix"], value["matrix"])
+
+
 class TestScan:
     def test_missing_dir_raises_clear_error(self, tmp_path):
         with pytest.raises(DiskCacheError, match="does not exist"):

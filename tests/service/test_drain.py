@@ -1,0 +1,148 @@
+"""Drain-path coverage: in-flight work completes, new work is refused,
+and a SIGTERM'd ``repro serve`` process exits 0.
+
+The in-process tests drive ThreadedServer directly; the subprocess test
+exercises the real signal handler wired up by ``serve_main``.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.service.client import ServiceClient, TransportError
+from repro.service.protocol import ServiceError
+
+from .conftest import SMALL
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+class TestInProcessDrain:
+    def test_inflight_batch_completes_then_new_work_refused(self, live_server):
+        # A long batch window holds the admitted request in the queue,
+        # giving the drain something genuinely in-flight to finish.
+        server, port = live_server(batch_wait_ms=60.0)
+        client = ServiceClient(port=port)
+        client.wait_ready(timeout_s=60)
+        outcome = {}
+
+        def admitted():
+            try:
+                outcome["reply"] = client.diagnose(dict(SMALL, fault_index=0))
+            except Exception as exc:  # noqa: BLE001 - asserted below
+                outcome["error"] = exc
+
+        worker = threading.Thread(target=admitted)
+        worker.start()
+        time.sleep(0.02)  # let the request reach the batch queue
+        server.stop(drain=True)
+        worker.join(30)
+        assert not worker.is_alive()
+        assert "error" not in outcome, outcome
+        assert outcome["reply"].candidate_cells
+
+        # Post-drain the socket is gone (or answers shutting_down if the
+        # request sneaks in during the draining window).
+        late = ServiceClient(port=port)
+        with pytest.raises((TransportError, ServiceError)) as excinfo:
+            late.diagnose(dict(SMALL, fault_index=1))
+        if isinstance(excinfo.value, ServiceError):
+            assert excinfo.value.code == "shutting_down"
+        late.close()
+        client.close()
+
+    def test_healthz_reports_draining(self, live_server):
+        server, port = live_server(batch_wait_ms=1.0)
+        client = ServiceClient(port=port)
+        client.wait_ready(timeout_s=60)
+        assert client.health()["status"] == "ok"
+        client.close()
+        server.stop(drain=True)
+
+
+class TestSigtermDrain:
+    @pytest.mark.skipif(not hasattr(signal, "SIGTERM"), reason="needs SIGTERM")
+    def test_sigterm_drains_inflight_and_exits_zero(self):
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+        env.pop("REPRO_DISK_CACHE", None)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--port", "0", "--batch-wait-ms", "25", "--no-disk-warm"],
+            stderr=subprocess.PIPE, env=env, cwd=REPO_ROOT,
+        )
+        port = None
+        try:
+            for line in proc.stderr:
+                text = line.decode("utf-8", "replace")
+                if "serving on http://" in text:
+                    port = int(text.rsplit(":", 1)[1])
+                    break
+            assert port, "server never printed its listen banner"
+            # The banner pipe must keep draining or the server can block
+            # on a full stderr buffer mid-shutdown.
+            drainer = threading.Thread(
+                target=lambda: [None for _ in proc.stderr], daemon=True)
+            drainer.start()
+
+            client = ServiceClient(port=port)
+            client.wait_ready(timeout_s=60)
+            client.diagnose(dict(SMALL, fault_index=0))  # warm the workload
+
+            # Launch a wave of requests, SIGTERM while they are in flight,
+            # and require every outcome to be ok or an orderly refusal.
+            outcomes = []
+            lock = threading.Lock()
+
+            def fire(i):
+                c = ServiceClient(port=port)
+                try:
+                    c.diagnose(dict(SMALL, fault_index=i % SMALL["fault_count"]))
+                    verdict = "ok"
+                except ServiceError as exc:
+                    verdict = exc.code
+                except TransportError:
+                    verdict = "transport"
+                finally:
+                    c.close()
+                with lock:
+                    outcomes.append(verdict)
+
+            threads = [threading.Thread(target=fire, args=(i,))
+                       for i in range(16)]
+            for t in threads:
+                t.start()
+            time.sleep(0.03)  # most requests now queued in the batch window
+            proc.send_signal(signal.SIGTERM)
+            for t in threads:
+                t.join(60)
+            client.close()
+
+            assert outcomes, "no request outcomes recorded"
+            assert set(outcomes) <= {"ok", "shutting_down", "transport"}, outcomes
+            assert "ok" in outcomes, outcomes
+
+            # Once drained, the port refuses new connections...
+            deadline = time.monotonic() + 30
+            refused = False
+            while time.monotonic() < deadline:
+                try:
+                    socket.create_connection(("127.0.0.1", port),
+                                             timeout=1).close()
+                    time.sleep(0.05)
+                except OSError:
+                    refused = True
+                    break
+            assert refused, "drained server still accepts connections"
+            # ...and the process exits cleanly.
+            assert proc.wait(30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(10)
