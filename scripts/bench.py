@@ -1,6 +1,6 @@
 #!/usr/bin/env python
 """Performance-trajectory harness: times the pipeline's hot stages and
-writes a machine-readable ``BENCH_PR8.json`` so future PRs can track the
+writes a machine-readable ``BENCH_PR9.json`` so future PRs can track the
 perf trajectory.
 
 Stages, per benchmark circuit:
@@ -29,6 +29,11 @@ Stages, per benchmark circuit:
 * ``serve_coldstart_cold_s`` / ``serve_coldstart_disk_warm_s`` — time for
   a fresh :class:`DiagnosisEngine` to resolve its first request, cold vs
   warm-from-disk.
+* ``diagnose_batch_s`` vs ``diagnose_perfault_s`` — the population-fused
+  diagnosis kernel (PR 9, one signature scatter for the whole fault
+  population) against the per-fault oracle loop, both serial;
+  ``diagnose_speedup`` is the ratio and the two result sets must be
+  bit-identical (asserted).
 * ``evaluate_warm_s`` — end-to-end scheme evaluation (workload build +
   diagnose, cache warm) with the vectorized kernels.
 * ``evaluate_profiled_s`` — the same warm evaluation with a private
@@ -60,18 +65,18 @@ present, per-circuit wall-clock and per-stage telemetry deltas are
 recorded under ``"deltas_vs_prev"``; when absent the report simply omits
 them.
 
-``--check BENCH_PR8.json`` turns the harness into a CI gate: after the
-run it compares this machine's ``fault_batch_speedup`` and
-``soa_speedup`` per circuit against the committed report and exits 1 if
-either regressed by more than ``--tolerance`` (default 0.25) on any
-circuit.  Speedups are machine-relative ratios, so the gate is robust to
-absolute-speed differences between CI runners and the machine that
-produced the committed report.
+``--check BENCH_PR9.json`` turns the harness into a CI gate: after the
+run it compares this machine's ``fault_batch_speedup``, ``soa_speedup``
+and ``diagnose_speedup`` per circuit against the committed report and
+exits 1 if any regressed by more than ``--tolerance`` (default 0.25) on
+any circuit.  Speedups are machine-relative ratios, so the gate is
+robust to absolute-speed differences between CI runners and the machine
+that produced the committed report.
 
 Run:  PYTHONPATH=src python scripts/bench.py [--circuits s953 s5378]
-      [--faults N] [--partitions N] [--out BENCH_PR8.json]
-      [--prev BENCH_PR7.json] [--quick]
-      [--check BENCH_PR8.json --tolerance 0.25]
+      [--faults N] [--partitions N] [--out BENCH_PR9.json]
+      [--prev BENCH_PR8.json] [--quick]
+      [--check BENCH_PR9.json --tolerance 0.25]
 """
 
 import argparse
@@ -92,6 +97,7 @@ from repro import telemetry
 from repro.bist.misr import LinearCompactor
 from repro.bist.patterns import fast_pattern_matrices
 from repro.bist.session import run_partition_sessions_scalar
+from repro.core.diagnosis_batch import diagnose_population
 from repro.experiments.cache import clear_caches
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
@@ -106,7 +112,7 @@ from repro.soc.core_wrapper import EmbeddedCore, _name_seed
 from repro.telemetry import METRICS, SamplingProfiler, log
 
 NUM_GROUPS = 4
-PR_NUMBER = 8
+PR_NUMBER = 9
 
 
 def seed_collect_events(response, scan_config):
@@ -271,6 +277,47 @@ def bench_circuit(name, config, num_partitions, repeats=3, fault_cap=400):
         pickle.dumps(event_responses, protocol=5)
     )
 
+    # The population-fused diagnosis kernel vs the per-fault oracle, both
+    # serial so the ratio isolates the kernel (not the pool).  The
+    # partition set and compactor are warmed outside the timed region —
+    # they are once-per-scheme costs the caches absorb in real runs.
+    partitions = scheme_partitions(
+        "two-step", workload.scan_config.max_length, NUM_GROUPS,
+        num_partitions, lfsr_degree=config.lfsr_degree,
+    )
+    compactor = LinearCompactor(
+        config.misr_width, workload.scan_config.num_chains
+    )
+    diag_batch_s, batch_results = best_of(
+        max(repeats, 3),
+        lambda: diagnose_population(
+            workload.responses, workload.scan_config, partitions, compactor,
+            workers=0,
+        ),
+    )
+    diag_perfault_s, perfault_results = best_of(
+        max(repeats, 3),
+        lambda: diagnose_population(
+            workload.responses, workload.scan_config, partitions, compactor,
+            workers=0, chunk=0,
+        ),
+    )
+    for a, b in zip(perfault_results, batch_results):
+        assert a.candidate_cells == b.candidate_cells, (
+            f"fused diagnosis drift on {name}: candidates differ"
+        )
+        assert a.candidate_history == b.candidate_history, (
+            f"fused diagnosis drift on {name}: histories differ"
+        )
+        assert a.actual_cells == b.actual_cells, (
+            f"fused diagnosis drift on {name}: actual cells differ"
+        )
+    timings["diagnose_batch_s"] = diag_batch_s
+    timings["diagnose_perfault_s"] = diag_perfault_s
+    timings["diagnose_speedup"] = (
+        diag_perfault_s / diag_batch_s if diag_batch_s else None
+    )
+
     # End-to-end scheme evaluation, cache warm, vectorized kernels.  One
     # untimed call warms the shared stores (compactor impulse tables,
     # partition sets) the way any full experiment sweep would.
@@ -309,11 +356,6 @@ def bench_circuit(name, config, num_partitions, repeats=3, fault_cap=400):
     # The same evaluation through the seed code path (no cache, scalar
     # kernels).  The compactor is built inside the timed region: the seed
     # constructed one per evaluation too.
-    partitions = scheme_partitions(
-        "two-step", workload.scan_config.max_length, NUM_GROUPS,
-        num_partitions, lfsr_degree=config.lfsr_degree,
-    )
-
     def seed_pass():
         clear_caches()
         seed_workload = build_circuit_workload(name, config)
@@ -475,7 +517,7 @@ def bench_cluster(circuit, quick, cluster_workers=4):
 #: Machine-relative ratios the ``--check`` gate holds against the
 #: committed report; a metric absent from either side is skipped, so old
 #: reports keep gating what they actually recorded.
-GATED_SPEEDUPS = ("fault_batch_speedup", "soa_speedup")
+GATED_SPEEDUPS = ("fault_batch_speedup", "soa_speedup", "diagnose_speedup")
 
 
 def check_against(report, committed, tolerance):
@@ -564,7 +606,8 @@ def deltas_vs_prev(report, prev):
             continue
         per = {}
         for key in ("workload_build_cold_s", "fault_sim_s", "good_sim_soa_s",
-                    "evaluate_warm_s", "end_to_end_warm_s", "seed_evaluate_s"):
+                    "diagnose_batch_s", "evaluate_warm_s", "end_to_end_warm_s",
+                    "seed_evaluate_s"):
             now, old = timing.get(key), before.get(key)
             if now is not None and old:
                 per[key] = {"now": now, "prev": old, "ratio": now / old}
@@ -589,7 +632,7 @@ def main():
     parser.add_argument("--patterns", type=int, default=128)
     parser.add_argument("--partitions", type=int, default=8)
     parser.add_argument("--out", default=f"BENCH_PR{PR_NUMBER}.json")
-    parser.add_argument("--prev", default="BENCH_PR7.json",
+    parser.add_argument("--prev", default="BENCH_PR8.json",
                         help="previous trajectory file for deltas "
                         "(missing is fine)")
     parser.add_argument("--quick", action="store_true",
@@ -645,6 +688,7 @@ def main():
             f" | {timings['faults_per_sec']:.0f} faults/s"
             f" | soa speedup {timings['soa_speedup']:.1f}x"
             f" | batch speedup {timings['fault_batch_speedup']:.1f}x"
+            f" | diagnose speedup {timings['diagnose_speedup']:.1f}x"
             f" | serve cold {timings['serve_coldstart_cold_s']:.3f}s"
             f" vs disk-warm {timings['serve_coldstart_disk_warm_s']:.3f}s"
             f" | end-to-end speedup {timings['end_to_end_speedup']:.1f}x"

@@ -55,6 +55,7 @@ TRACKED_SPEEDUPS = (
     "fault_batch_speedup",
     "soa_speedup",
     "fault_soa_speedup",
+    "diagnose_speedup",
     "end_to_end_speedup",
 )
 

@@ -199,6 +199,81 @@ def collect_error_event_arrays(
     return ErrorEvents.from_response(response, scan_config)
 
 
+@dataclass(frozen=True)
+class PopulationEvents:
+    """Error events of a whole fault population, concatenated.
+
+    ``events`` holds every fault's events back to back in fault order;
+    ``fault_of[e]`` is the population index of event ``e`` (nondecreasing),
+    and fault ``f``'s events occupy ``[offsets[f], offsets[f+1])``.  Within
+    a fault the events appear in exactly the order
+    :meth:`ErrorEvents.from_response` produces, so per-fault slices are
+    bit-identical to per-fault extraction.
+    """
+
+    events: ErrorEvents
+    fault_of: np.ndarray
+    offsets: np.ndarray
+
+    @property
+    def num_faults(self) -> int:
+        return int(self.offsets.size) - 1
+
+    def fault_events(self, fault: int) -> ErrorEvents:
+        """One fault's events as a view (the per-fault extractor's output)."""
+        lo, hi = int(self.offsets[fault]), int(self.offsets[fault + 1])
+        return ErrorEvents(
+            self.events.positions[lo:hi],
+            self.events.channels[lo:hi],
+            self.events.cycles[lo:hi],
+        )
+
+
+def collect_population_events(
+    responses: Sequence[FaultResponse], scan_config: ScanConfig
+) -> PopulationEvents:
+    """Extract every fault's error events in one ``np.nonzero``.
+
+    All responses' error matrices are stacked into a single bit matrix and
+    unpacked together — one kernel launch for the whole population instead
+    of one per fault.  Requires a uniform pattern count (so the packed word
+    vectors stack); the fused diagnosis kernel guarantees this by falling
+    back to the per-fault path for mixed populations.
+    """
+    num_faults = len(responses)
+    rows: List[np.ndarray] = []
+    row_cell: List[int] = []
+    row_fault: List[int] = []
+    for f, response in enumerate(responses):
+        for cell, vec in response.cell_errors.items():
+            rows.append(vec)
+            row_cell.append(cell)
+            row_fault.append(f)
+    METRICS.incr("session.population_extractions")
+    if not rows:
+        zero = np.zeros(0, dtype=np.int64)
+        return PopulationEvents(
+            ErrorEvents.empty(), zero, np.zeros(num_faults + 1, dtype=np.int64)
+        )
+    matrix = np.stack(rows)
+    bits = np.unpackbits(
+        matrix.view(np.uint8).reshape(len(rows), -1), axis=1, bitorder="little"
+    )
+    row_idx, patterns = np.nonzero(bits)
+    all_positions, all_chains = scan_config.location_arrays()
+    cell_ids = np.asarray(row_cell, dtype=np.int64)[row_idx]
+    positions = all_positions[cell_ids]
+    cycles = patterns.astype(np.int64) * scan_config.max_length + positions
+    fault_of = np.asarray(row_fault, dtype=np.int64)[row_idx]
+    # Rows are grouped by fault and np.nonzero walks them in row-major
+    # order, so fault_of is sorted and the offsets fall out of a search.
+    offsets = np.searchsorted(fault_of, np.arange(num_faults + 1))
+    METRICS.incr("session.events_extracted", int(positions.size))
+    return PopulationEvents(
+        ErrorEvents(positions, all_chains[cell_ids], cycles), fault_of, offsets
+    )
+
+
 def collect_error_events(
     response: FaultResponse, scan_config: ScanConfig
 ) -> List[tuple]:

@@ -318,6 +318,12 @@ def stats_main(argv: Optional[List[str]] = None) -> int:
             print(render_table(
                 "Gate-eval kernel", ["metric", "value"], kernel_rows
             ))
+        diagnosis_rows = _diagnosis_summary(metrics)
+        if diagnosis_rows:
+            print()
+            print(render_table(
+                "Diagnosis kernel", ["metric", "value"], diagnosis_rows
+            ))
         pool_rows = _pool_summary(metrics)
         if pool_rows:
             print()
@@ -519,6 +525,38 @@ def _kernel_summary(metrics: Dict[str, Any]) -> List[list]:
     if "soa.gather_bytes" in counters:
         rows.append(["SoA gather volume",
                      _human_bytes(int(counters["soa.gather_bytes"]))])
+    return rows
+
+
+def _diagnosis_summary(metrics: Dict[str, Any]) -> List[list]:
+    """The fused-diagnosis table: how many faults went through the fused
+    kernel vs the per-fault fallback, and the launch shapes."""
+    counters = metrics.get("counters", {})
+    histograms = metrics.get("histograms", {})
+    fused = int(counters.get("diagnosis.batch_faults", 0))
+    perfault = int(counters.get("diagnosis.perfault_faults", 0))
+    total = fused + perfault
+    if not total:
+        return []
+    rows: List[list] = [["faults diagnosed", total]]
+    rows.append(["fused faults",
+                 f"{fused} ({fused / total:.0%})" if fused
+                 else "0 (per-fault only)"])
+    if "diagnosis.batch_kernel_calls" in counters:
+        rows.append(["kernel launches",
+                     int(counters["diagnosis.batch_kernel_calls"])])
+    events = histograms.get("diagnosis.events_per_launch")
+    if events and events.get("count"):
+        rows.append(["events/launch (min/mean/max)",
+                     f"{events['min']:.0f}/"
+                     f"{events['sum'] / events['count']:.0f}/"
+                     f"{events['max']:.0f}"])
+    chunk = histograms.get("diagnosis.chunk_faults")
+    if chunk and chunk.get("count"):
+        rows.append(["chunk size (min/mean/max)",
+                     f"{chunk['min']:.0f}/"
+                     f"{chunk['sum'] / chunk['count']:.1f}/"
+                     f"{chunk['max']:.0f}"])
     return rows
 
 

@@ -14,6 +14,7 @@ from .ordering import (
 from .vector_diagnosis import (
     VectorDiagnosisResult,
     diagnose_vectors,
+    diagnose_vectors_population,
     failing_vectors,
     vector_diagnostic_resolution,
 )
@@ -24,6 +25,11 @@ from .diagnosis import (
     diagnostic_resolution,
     dr_by_partition_count,
     partitions_to_reach_dr,
+)
+from .diagnosis_batch import (
+    diagnose_population,
+    resolve_diagnosis_chunk,
+    scatter_population_signatures,
 )
 from .interval import (
     IntervalPartitioner,
@@ -73,8 +79,12 @@ __all__ = [
     "TwoStepPartitioner",
     "VectorDiagnosisResult",
     "apply_superposition",
+    "diagnose_population",
     "diagnose_vectors",
+    "diagnose_vectors_population",
     "failing_vectors",
+    "resolve_diagnosis_chunk",
+    "scatter_population_signatures",
     "interleaved_scan_order",
     "permuted_scan_config",
     "random_scan_order",

@@ -14,7 +14,7 @@ The optional superposition post-processing of [7] is in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -145,6 +145,23 @@ def _cells_from_mask(scan_config: ScanConfig, mask: np.ndarray) -> Set[int]:
     return set(int(c) for c in grid[mask & (grid >= 0)])
 
 
+def _detected_totals(
+    results: Sequence[DiagnosisResult],
+) -> Tuple[List[DiagnosisResult], int]:
+    """The detected subset of a result population and its actual-cell total.
+
+    Both DR metrics score only detected faults against the same
+    denominator, so the filter and the sum are computed once and shared
+    (``dr_by_partition_count`` used to redo both — and re-raise — inside
+    its per-``k`` loop).
+    """
+    detected = [result for result in results if result.detected]
+    total_actual = sum(len(result.actual_cells) for result in detected)
+    if total_actual == 0:
+        raise ValueError("no detected faults in the result set")
+    return detected, total_actual
+
+
 def diagnostic_resolution(results: Sequence[DiagnosisResult]) -> float:
     """The paper's DR metric over a fault population:
 
@@ -153,15 +170,8 @@ def diagnostic_resolution(results: Sequence[DiagnosisResult]) -> float:
     computed over *detected* faults (undetected faults produce no failing
     cells and no failing sessions).  DR = 0 is ideal.
     """
-    total_candidates = 0
-    total_actual = 0
-    for result in results:
-        if not result.detected:
-            continue
-        total_candidates += len(result.candidate_cells)
-        total_actual += len(result.actual_cells)
-    if total_actual == 0:
-        raise ValueError("no detected faults in the result set")
+    detected, total_actual = _detected_totals(results)
+    total_candidates = sum(len(result.candidate_cells) for result in detected)
     return (total_candidates - total_actual) / total_actual
 
 
@@ -169,18 +179,13 @@ def dr_by_partition_count(
     results: Sequence[DiagnosisResult], max_partitions: int
 ) -> List[float]:
     """DR after 1, 2, ..., ``max_partitions`` partitions (prefix sweep)."""
+    detected, total_actual = _detected_totals(results)
     values = []
     for k in range(max_partitions):
-        total_candidates = 0
-        total_actual = 0
-        for result in results:
-            if not result.detected:
-                continue
-            idx = min(k, len(result.candidate_history) - 1)
-            total_candidates += result.candidate_history[idx]
-            total_actual += len(result.actual_cells)
-        if total_actual == 0:
-            raise ValueError("no detected faults in the result set")
+        total_candidates = sum(
+            result.candidate_history[min(k, len(result.candidate_history) - 1)]
+            for result in detected
+        )
         values.append((total_candidates - total_actual) / total_actual)
     return values
 

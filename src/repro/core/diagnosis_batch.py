@@ -1,0 +1,421 @@
+"""Population-fused diagnosis: diagnose every fault in one scatter.
+
+:func:`repro.core.diagnosis.diagnose` already collapses all sessions of all
+partitions of *one* fault into a single signature scatter, but callers
+still loop it over the fault population — hundreds of tiny numpy launches
+whose Python dispatch dominates once fault simulation itself is batched.
+This module fuses the population axis too:
+
+1. every fault's :class:`~repro.bist.session.ErrorEvents` are extracted in
+   one ``np.nonzero`` (:func:`~repro.bist.session.collect_population_events`),
+2. one ``batch_impulse_responses`` call covers every event of every fault,
+3. one ``np.bitwise_xor.at`` scatter fills the whole
+   ``(fault, partition, group, channel)`` signature tensor (exact mode is a
+   boolean scatter),
+4. one cumulative AND over the partition axis yields every fault's
+   candidate mask *and* its full ``candidate_history`` prefix sweep.
+
+The results are bit-identical :class:`~repro.core.diagnosis.DiagnosisResult`
+objects whose :class:`~repro.bist.session.SessionOutcome` views alias
+slices of the signature tensor, so Table 1 / Figure 5 / superposition
+consumers are untouched.
+
+``REPRO_DIAGNOSIS_BATCH`` gates the kernel: unset/empty runs fused with the
+default chunk, ``0`` falls back to the per-fault oracle, any other integer
+is the number of faults fused per chunk (bounding the event tensor).  With
+``workers > 1`` chunks fan out over the fork pool through
+:func:`repro.parallel.parallel_map`, with a packed transport codec that
+ships each chunk's results as a handful of flat arrays instead of
+thousands of pickled Python objects.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..bist.misr import LinearCompactor
+from ..bist.scan import ScanConfig
+from ..bist.session import SessionOutcome, collect_population_events
+from ..parallel import Codec, parallel_map, resolve_workers
+from ..sim.faultsim import FaultResponse
+from ..telemetry import METRICS, span, warn_env_once
+from .diagnosis import DiagnosisResult, diagnose
+from .partitions import Partition, validate_partition_set
+
+#: Default faults fused per kernel launch.  The transient arrays scale with
+#: ``faults x partitions x events-per-fault``; 256 keeps the largest
+#: benchmark's event tensor in the tens of megabytes while amortizing the
+#: Python dispatch over hundreds of faults.
+DEFAULT_CHUNK = 256
+
+
+def resolve_diagnosis_chunk(chunk: Optional[int] = None) -> int:
+    """Normalize a fused-diagnosis chunk request.
+
+    ``None`` reads ``REPRO_DIAGNOSIS_BATCH``: unset/empty means the default
+    chunk, ``0`` disables fusion (per-fault oracle), any other integer is
+    the faults-per-chunk bound.  Unparseable values warn once
+    (``REPRO_LOG``) and fall back to the default.  Returns 0 (disabled) or
+    a chunk size >= 1.
+    """
+    if chunk is None:
+        raw = os.environ.get("REPRO_DIAGNOSIS_BATCH", "").strip()
+        if not raw:
+            return DEFAULT_CHUNK
+        try:
+            chunk = int(raw)
+        except ValueError:
+            warn_env_once(
+                "REPRO_DIAGNOSIS_BATCH", raw,
+                f"using the default chunk of {DEFAULT_CHUNK}",
+            )
+            return DEFAULT_CHUNK
+    if chunk <= 0:
+        return 0
+    return chunk
+
+
+def fused_enabled() -> bool:
+    """True when the environment selects the fused kernel."""
+    return resolve_diagnosis_chunk() > 0
+
+
+def diagnose_population(
+    responses: Sequence[FaultResponse],
+    scan_config: ScanConfig,
+    partitions: Sequence[Partition],
+    compactor: Optional[LinearCompactor] = None,
+    channel_resolution: bool = True,
+    chunk: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> List[DiagnosisResult]:
+    """Diagnose a whole fault population, fused (default) or per fault.
+
+    Bit-identical to ``[diagnose(r, ...) for r in responses]`` for any
+    chunk size and worker count.  Falls back to the per-fault path when
+    fusion is disabled, the compactor only implements the scalar
+    ``impulse_response`` protocol, or the responses disagree on the
+    pattern count (the stacked extraction needs uniform word vectors).
+    """
+    responses = list(responses)
+    partitions = list(partitions)
+    chunk = resolve_diagnosis_chunk(chunk)
+    batched_compactor = compactor is None or hasattr(
+        compactor, "batch_impulse_responses"
+    )
+    uniform = len({r.num_patterns for r in responses}) <= 1
+    if not responses:
+        return []
+    if chunk == 0 or not batched_compactor or not uniform:
+        METRICS.incr("diagnosis.perfault_faults", len(responses))
+        return parallel_map(
+            lambda i: diagnose(
+                responses[i], scan_config, partitions, compactor,
+                channel_resolution=channel_resolution,
+            ),
+            len(responses),
+            workers,
+        )
+    validate_partition_set(partitions)
+    if partitions[0].length != scan_config.max_length:
+        raise ValueError(
+            f"partition length {partitions[0].length} != scan configuration "
+            f"length {scan_config.max_length}"
+        )
+    chunks = [
+        (start, min(start + chunk, len(responses)))
+        for start in range(0, len(responses), chunk)
+    ]
+    if len(chunks) > 1 and resolve_workers(workers) > 1:
+        codec = _make_chunk_codec(partitions, scan_config, channel_resolution)
+        chunk_results = parallel_map(
+            lambda c: _diagnose_chunk(
+                responses[chunks[c][0]:chunks[c][1]], scan_config, partitions,
+                compactor, channel_resolution,
+            ),
+            len(chunks),
+            workers,
+            min_items=2,
+            codec=codec,
+        )
+    else:
+        chunk_results = [
+            _diagnose_chunk(
+                responses[lo:hi], scan_config, partitions, compactor,
+                channel_resolution,
+            )
+            for lo, hi in chunks
+        ]
+    return [result for group in chunk_results for result in group]
+
+
+def scatter_population_signatures(
+    tensor: np.ndarray,
+    fault_of: np.ndarray,
+    event_groups: np.ndarray,
+    event_channels: Optional[np.ndarray],
+    contributions: Optional[np.ndarray],
+) -> np.ndarray:
+    """One scatter for every event of every fault of every partition.
+
+    ``tensor`` is the ``(fault, partition, group, channel)`` ``uint64``
+    signature accumulator (modified in place); ``event_groups[p, e]`` is
+    event ``e``'s group under partition ``p``; ``fault_of`` maps events to
+    population indices.  ``event_channels=None`` means a single-channel
+    layout (the failing-vector scheme).  ``contributions=None`` selects the
+    exact (alias-free) boolean scatter; otherwise the per-event impulse
+    responses XOR-accumulate.  Shared by the failing-cell and
+    failing-vector fused kernels.
+    """
+    num_faults, num_parts, max_groups, num_channels = tensor.shape
+    if event_groups.size == 0:
+        return tensor
+    flat = tensor.reshape(-1)
+    index = (
+        (fault_of[np.newaxis, :] * num_parts
+         + np.arange(num_parts)[:, np.newaxis]) * (max_groups * num_channels)
+        + event_groups * num_channels
+    )
+    if event_channels is not None:
+        index = index + event_channels[np.newaxis, :]
+    index = index.ravel()
+    if contributions is None:
+        flat[index] = np.uint64(1)
+    else:
+        np.bitwise_xor.at(flat, index, np.tile(contributions, num_parts))
+    return tensor
+
+
+def _diagnose_chunk(
+    responses: Sequence[FaultResponse],
+    scan_config: ScanConfig,
+    partitions: Sequence[Partition],
+    compactor: Optional[LinearCompactor],
+    channel_resolution: bool,
+) -> List[DiagnosisResult]:
+    """The fused kernel proper: one chunk of faults in a handful of ops."""
+    num_faults = len(responses)
+    num_parts = len(partitions)
+    num_channels = scan_config.num_chains
+    max_groups = max(part.num_groups for part in partitions)
+    total_cycles = scan_config.total_cycles(responses[0].num_patterns)
+
+    with span("diagnose.batch_kernel", faults=num_faults,
+              partitions=num_parts) as sp:
+        population = collect_population_events(responses, scan_config)
+        events = population.events
+        METRICS.incr("diagnosis.batch_kernel_calls")
+        METRICS.incr("diagnosis.batch_faults", num_faults)
+        METRICS.observe("diagnosis.chunk_faults", num_faults)
+        METRICS.observe("diagnosis.events_per_launch", len(events))
+        METRICS.gauge("diagnosis.last_events_per_launch", len(events))
+        sp.add("events", len(events))
+
+        exact = compactor is None
+        if exact:
+            contributions = None
+        else:
+            steps = total_cycles - 1 - events.cycles
+            if np.any(steps < 0) or np.any(events.cycles < 0):
+                raise ValueError(
+                    f"event cycle outside session of {total_cycles}"
+                )
+            contributions = compactor.batch_impulse_responses(
+                events.channels, steps
+            )
+
+        tensor = np.zeros(
+            (num_faults, num_parts, max_groups, num_channels), dtype=np.uint64
+        )
+        if len(events):
+            group_stack = np.stack(
+                [np.asarray(part.group_of) for part in partitions]
+            )
+            scatter_population_signatures(
+                tensor, population.fault_of,
+                group_stack[:, events.positions], events.channels,
+                contributions,
+            )
+        METRICS.incr(
+            "session.sessions_compacted",
+            num_faults * sum(part.num_groups for part in partitions),
+        )
+
+        # Per-partition failing verdicts -> per-position masks, stacked as
+        # [partition, fault, chain, position] so one cumulative AND along
+        # the partition axis yields every prefix of the intersection sweep.
+        collapsed = None
+        if channel_resolution:
+            failing = tensor != 0  # [fault, partition, group, channel]
+        else:
+            if exact:
+                collapsed = (tensor != 0).any(axis=3).astype(np.uint64)
+            elif num_channels:
+                collapsed = np.bitwise_xor.reduce(tensor, axis=3)
+            else:
+                collapsed = np.zeros(
+                    (num_faults, num_parts, max_groups), dtype=np.uint64
+                )
+            failing = collapsed != 0  # [fault, partition, group]
+
+        presence = scan_config.presence_mask()  # [chain, position]
+        length = scan_config.max_length
+        prefix = np.empty(
+            (num_parts, num_faults, scan_config.num_chains, length), dtype=bool
+        )
+        for p, part in enumerate(partitions):
+            if channel_resolution:
+                # [fault, position, channel] -> [fault, chain, position]
+                prefix[p] = failing[:, p][:, part.group_of, :].transpose(0, 2, 1)
+            else:
+                prefix[p] = failing[:, p][:, part.group_of][:, np.newaxis, :]
+        np.logical_and.accumulate(prefix, axis=0, out=prefix)
+        prefix &= presence[np.newaxis, np.newaxis]
+        history = prefix.sum(axis=(2, 3))  # [partition, fault]
+
+        final_mask = prefix[-1]  # [fault, chain, position]
+        grid = scan_config.cell_id_grid()
+        valid = final_mask & (grid >= 0)[np.newaxis]
+        fault_idx, chain_idx, pos_idx = np.nonzero(valid)
+        candidate_cells = grid[chain_idx, pos_idx]
+        bounds = np.searchsorted(fault_idx, np.arange(num_faults + 1))
+
+    results: List[DiagnosisResult] = []
+    for f, response in enumerate(responses):
+        if channel_resolution:
+            outcomes = [
+                SessionOutcome(
+                    signature_matrix=tensor[f, p, : part.num_groups, :]
+                )
+                for p, part in enumerate(partitions)
+            ]
+        else:
+            outcomes = [
+                SessionOutcome(
+                    signature_matrix=collapsed[f, p, : part.num_groups]
+                    .reshape(-1, 1)
+                )
+                for p, part in enumerate(partitions)
+            ]
+        candidates = {
+            int(c) for c in candidate_cells[bounds[f]:bounds[f + 1]]
+        }
+        results.append(
+            DiagnosisResult(
+                actual_cells=set(response.failing_cells),
+                candidate_cells=candidates,
+                outcomes=outcomes,
+                partitions=partitions,
+                candidate_history=[int(h) for h in history[:, f]],
+                position_mask=final_mask[f].copy(),
+            )
+        )
+    return results
+
+
+# -- packed chunk transport ----------------------------------------------------
+
+
+def _make_chunk_codec(
+    partitions: Sequence[Partition],
+    scan_config: ScanConfig,
+    channel_resolution: bool,
+) -> Codec:
+    """Transport codec for forked chunk results.
+
+    A chunk's :class:`DiagnosisResult` list is mostly numpy state sliced
+    out of shared tensors; pickling the objects directly would ship
+    thousands of small arrays and Python sets.  The codec re-packs each
+    pool chunk into a handful of flat arrays (signature tensor, packed
+    candidate masks, concatenated cell lists with offsets) and rebuilds
+    bit-identical results in the parent.  The partition list never crosses
+    the pipe — both sides already hold it (fork inheritance in the child,
+    the closure here in the parent).
+    """
+    group_counts = [part.num_groups for part in partitions]
+    max_groups = max(group_counts)
+    num_parts = len(partitions)
+    mask_shape = (scan_config.num_chains, scan_config.max_length)
+    sig_channels = scan_config.num_chains if channel_resolution else 1
+
+    def encode(chunk_lists: List[List[DiagnosisResult]]) -> Dict[str, Any]:
+        flat = [result for group in chunk_lists for result in group]
+        num_faults = len(flat)
+        signatures = np.zeros(
+            (num_faults, num_parts, max_groups, sig_channels), dtype=np.uint64
+        )
+        masks = np.zeros((num_faults,) + mask_shape, dtype=bool)
+        history = np.zeros((num_faults, num_parts), dtype=np.int64)
+        actual = [np.asarray(sorted(r.actual_cells), dtype=np.int64)
+                  for r in flat]
+        cand = [np.asarray(sorted(r.candidate_cells), dtype=np.int64)
+                for r in flat]
+        for f, result in enumerate(flat):
+            masks[f] = result.position_mask
+            history[f] = result.candidate_history
+            for p, outcome in enumerate(result.outcomes):
+                matrix = outcome.signature_matrix
+                signatures[f, p, : matrix.shape[0], : matrix.shape[1]] = matrix
+        return {
+            "chunk_lens": np.asarray(
+                [len(group) for group in chunk_lists], dtype=np.int64
+            ),
+            "signatures": signatures,
+            "mask_bits": np.packbits(masks),
+            "history": history,
+            "actual": np.concatenate(actual) if actual
+            else np.zeros(0, dtype=np.int64),
+            "actual_offsets": np.cumsum(
+                [0] + [a.size for a in actual], dtype=np.int64
+            ),
+            "cand": np.concatenate(cand) if cand
+            else np.zeros(0, dtype=np.int64),
+            "cand_offsets": np.cumsum(
+                [0] + [c.size for c in cand], dtype=np.int64
+            ),
+        }
+
+    def decode(wire: Dict[str, Any]) -> List[List[DiagnosisResult]]:
+        chunk_lens = wire["chunk_lens"]
+        num_faults = int(chunk_lens.sum())
+        masks = np.unpackbits(
+            wire["mask_bits"],
+            count=num_faults * mask_shape[0] * mask_shape[1],
+        ).astype(bool).reshape((num_faults,) + mask_shape)
+        signatures = wire["signatures"]
+        history = wire["history"]
+        results: List[DiagnosisResult] = []
+        partitions_list = list(partitions)
+        for f in range(num_faults):
+            outcomes = [
+                SessionOutcome(
+                    signature_matrix=signatures[f, p, : group_counts[p], :]
+                )
+                for p in range(num_parts)
+            ]
+            a_lo, a_hi = wire["actual_offsets"][f], wire["actual_offsets"][f + 1]
+            c_lo, c_hi = wire["cand_offsets"][f], wire["cand_offsets"][f + 1]
+            results.append(
+                DiagnosisResult(
+                    actual_cells={int(c) for c in wire["actual"][a_lo:a_hi]},
+                    candidate_cells={int(c) for c in wire["cand"][c_lo:c_hi]},
+                    outcomes=outcomes,
+                    partitions=partitions_list,
+                    candidate_history=[int(h) for h in history[f]],
+                    position_mask=masks[f],
+                )
+            )
+        regrouped: List[List[DiagnosisResult]] = []
+        start = 0
+        for size in chunk_lens:
+            regrouped.append(results[start:start + int(size)])
+            start += int(size)
+        return regrouped
+
+    def nbytes(wire: Dict[str, Any]) -> int:
+        return sum(v.nbytes for v in wire.values())
+
+    return Codec(encode=encode, decode=decode, nbytes=nbytes)

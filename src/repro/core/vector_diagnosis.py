@@ -26,8 +26,13 @@ import numpy as np
 
 from ..bist.misr import LinearCompactor
 from ..bist.scan import ScanConfig
-from ..bist.session import collect_error_event_arrays, event_contributions
+from ..bist.session import (
+    collect_error_event_arrays,
+    collect_population_events,
+    event_contributions,
+)
 from ..sim.faultsim import FaultResponse
+from ..telemetry import METRICS, span
 from .partitions import Partition, validate_partition_set
 
 
@@ -119,6 +124,133 @@ def diagnose_vectors(
         candidate_vectors={int(p) for p in np.flatnonzero(mask)},
         candidate_history=history,
     )
+
+
+def diagnose_vectors_population(
+    responses: Sequence[FaultResponse],
+    scan_config: ScanConfig,
+    partitions: Sequence[Partition],
+    compactor: Optional[LinearCompactor] = None,
+    chunk: Optional[int] = None,
+) -> List[VectorDiagnosisResult]:
+    """Identify failing vectors for a whole fault population in one scatter.
+
+    The pattern-axis twin of
+    :func:`repro.core.diagnosis_batch.diagnose_population`: every fault's
+    events are extracted in one pass, one ``batch_impulse_responses`` call
+    covers the population, and one scatter into a single-channel
+    ``(fault, partition, group, 1)`` tensor (shared
+    :func:`~repro.core.diagnosis_batch.scatter_population_signatures`)
+    yields every session verdict.  Bit-identical to calling
+    :func:`diagnose_vectors` per response; gated by the same
+    ``REPRO_DIAGNOSIS_BATCH`` knob (``0`` falls back to the per-fault
+    loop, as do scalar-only compactors and mixed pattern counts).
+    """
+    from .diagnosis_batch import resolve_diagnosis_chunk
+
+    responses = list(responses)
+    partitions = list(partitions)
+    if not responses:
+        return []
+    chunk = resolve_diagnosis_chunk(chunk)
+    batched = compactor is None or hasattr(compactor, "batch_impulse_responses")
+    uniform = len({r.num_patterns for r in responses}) <= 1
+    if chunk == 0 or not batched or not uniform:
+        METRICS.incr("diagnosis.perfault_faults", len(responses))
+        return [
+            diagnose_vectors(response, scan_config, partitions, compactor)
+            for response in responses
+        ]
+    validate_partition_set(partitions)
+    if partitions[0].length != responses[0].num_patterns:
+        raise ValueError(
+            f"partition length {partitions[0].length} != number of patterns "
+            f"{responses[0].num_patterns}"
+        )
+    results: List[VectorDiagnosisResult] = []
+    for lo in range(0, len(responses), chunk):
+        results.extend(
+            _diagnose_vectors_chunk(
+                responses[lo:lo + chunk], scan_config, partitions, compactor
+            )
+        )
+    return results
+
+
+def _diagnose_vectors_chunk(
+    responses: Sequence[FaultResponse],
+    scan_config: ScanConfig,
+    partitions: Sequence[Partition],
+    compactor: Optional[LinearCompactor],
+) -> List[VectorDiagnosisResult]:
+    from .diagnosis_batch import scatter_population_signatures
+
+    num_faults = len(responses)
+    num_parts = len(partitions)
+    max_groups = max(part.num_groups for part in partitions)
+    num_patterns = responses[0].num_patterns
+    total_cycles = scan_config.total_cycles(num_patterns)
+
+    with span("diagnose.vector_batch_kernel", faults=num_faults,
+              partitions=num_parts) as sp:
+        population = collect_population_events(responses, scan_config)
+        events = population.events
+        METRICS.incr("diagnosis.batch_kernel_calls")
+        METRICS.incr("diagnosis.batch_faults", num_faults)
+        METRICS.observe("diagnosis.chunk_faults", num_faults)
+        METRICS.observe("diagnosis.events_per_launch", len(events))
+        METRICS.gauge("diagnosis.last_events_per_launch", len(events))
+        sp.add("events", len(events))
+
+        if compactor is None:
+            contributions = None
+        else:
+            contributions = compactor.batch_impulse_responses(
+                events.channels, total_cycles - 1 - events.cycles
+            )
+        event_patterns = events.cycles // scan_config.max_length
+
+        tensor = np.zeros(
+            (num_faults, num_parts, max_groups, 1), dtype=np.uint64
+        )
+        if len(events):
+            group_stack = np.stack(
+                [np.asarray(part.group_of) for part in partitions]
+            )
+            scatter_population_signatures(
+                tensor, population.fault_of,
+                group_stack[:, event_patterns], None, contributions,
+            )
+
+        failing = tensor[..., 0] != 0  # [fault, partition, group]
+        prefix = np.empty((num_parts, num_faults, num_patterns), dtype=bool)
+        for p, part in enumerate(partitions):
+            prefix[p] = failing[:, p][:, part.group_of]
+        np.logical_and.accumulate(prefix, axis=0, out=prefix)
+        history = prefix.sum(axis=2)  # [partition, fault]
+
+        cand_fault, cand_pattern = np.nonzero(prefix[-1])
+        cand_bounds = np.searchsorted(cand_fault, np.arange(num_faults + 1))
+        # Actual failing vectors = the unique (fault, pattern) event pairs.
+        pairs = np.unique(
+            population.fault_of * np.int64(num_patterns) + event_patterns
+        )
+        actual_fault, actual_pattern = pairs // num_patterns, pairs % num_patterns
+        actual_bounds = np.searchsorted(actual_fault, np.arange(num_faults + 1))
+
+    return [
+        VectorDiagnosisResult(
+            actual_vectors={
+                int(p)
+                for p in actual_pattern[actual_bounds[f]:actual_bounds[f + 1]]
+            },
+            candidate_vectors={
+                int(p) for p in cand_pattern[cand_bounds[f]:cand_bounds[f + 1]]
+            },
+            candidate_history=[int(h) for h in history[:, f]],
+        )
+        for f in range(num_faults)
+    ]
 
 
 def vector_diagnostic_resolution(

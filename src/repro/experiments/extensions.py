@@ -23,7 +23,10 @@ from ..bist.misr import LinearCompactor
 from ..core.diagnosis import diagnose, diagnostic_resolution
 from ..core.ordering import random_scan_order, response_span
 from ..core.two_step import make_partitioner
-from ..core.vector_diagnosis import diagnose_vectors, vector_diagnostic_resolution
+from ..core.vector_diagnosis import (
+    diagnose_vectors_population,
+    vector_diagnostic_resolution,
+)
 from ..sim.faultsim import merge_responses
 from ..soc.stitch import build_stitched_soc
 from ..soc.testrail import TestRail
@@ -69,10 +72,9 @@ def run_vector_diagnosis(
             num_partitions,
             lfsr_degree=config.lfsr_degree,
         )
-        results = [
-            diagnose_vectors(response, workload.scan_config, partitions, compactor)
-            for response in workload.responses
-        ]
+        results = diagnose_vectors_population(
+            workload.responses, workload.scan_config, partitions, compactor
+        )
         rows.append([scheme, num_partitions, vector_diagnostic_resolution(results)])
     return VectorDiagnosisExperiment(circuit, workload.num_patterns, rows)
 

@@ -13,9 +13,9 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..bist.misr import LinearCompactor
-from ..core.diagnosis import diagnose, partitions_to_reach_dr
+from ..core.diagnosis import partitions_to_reach_dr
+from ..core.diagnosis_batch import diagnose_population
 from ..soc.stitch import build_stitched_soc
-from ..parallel import parallel_map
 from ..soc.testrail import TestRail
 from ..telemetry import METRICS, span
 from .config import ExperimentConfig, default_config
@@ -77,11 +77,8 @@ def run_figure5(
             )
             with span("diagnose", scheme=scheme, workload=workload.name) as sp:
                 responses = workload.responses
-                results = parallel_map(
-                    lambda i: diagnose(
-                        responses[i], workload.scan_config, partitions, compactor
-                    ),
-                    len(responses),
+                results = diagnose_population(
+                    responses, workload.scan_config, partitions, compactor
                 )
                 sp.add("faults", len(results))
                 METRICS.incr("diagnosis.faults", len(results))

@@ -16,11 +16,11 @@ import numpy as np
 
 from ..bist.misr import LinearCompactor
 from ..bist.scan import ScanConfig
-from ..core.diagnosis import DiagnosisResult, diagnose, diagnostic_resolution
+from ..core.diagnosis import DiagnosisResult, diagnostic_resolution
+from ..core.diagnosis_batch import diagnose_population
 from ..core.partitions import Partition
 from ..core.superposition import apply_superposition
 from ..core.two_step import make_partitioner
-from ..parallel import parallel_map
 from ..sim.faultsim import FaultResponse
 from ..soc.core_wrapper import EmbeddedCore
 from ..soc.testrail import TestRail
@@ -195,10 +195,13 @@ def evaluate_scheme(
 ) -> SchemeEvaluation:
     """Diagnose every sampled fault of the workload under one scheme.
 
-    Faults diagnose independently, so ``workers > 1`` fans the population
-    out over a fork-based process pool (``workers=None`` reads
-    ``REPRO_WORKERS``, default serial).  Results and DR are bit-identical
-    to the serial loop for any worker count.
+    The whole population goes through the fused diagnosis kernel
+    (:func:`repro.core.diagnosis_batch.diagnose_population`; gated by
+    ``REPRO_DIAGNOSIS_BATCH``).  Faults diagnose independently, so
+    ``workers > 1`` fans the population's chunks out over a fork-based
+    process pool (``workers=None`` reads ``REPRO_WORKERS``, default
+    serial).  Results and DR are bit-identical to the per-fault serial
+    loop for any chunk size and worker count.
     """
     partitions = scheme_partitions(
         scheme,
@@ -217,10 +220,9 @@ def evaluate_scheme(
         )
     responses = workload.responses
     with span("diagnose", scheme=scheme, workload=workload.name) as sp:
-        results = parallel_map(
-            lambda i: diagnose(responses[i], workload.scan_config, partitions, compactor),
-            len(responses),
-            workers,
+        results = diagnose_population(
+            responses, workload.scan_config, partitions, compactor,
+            workers=workers,
         )
         sp.add("faults", len(responses))
         METRICS.incr("diagnosis.faults", len(responses))

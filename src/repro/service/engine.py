@@ -5,10 +5,11 @@ requests that share a :meth:`~repro.service.protocol.DiagnoseRequest.workload_ke
 it resolves the compiled workload (netlist, golden simulation, sampled
 fault responses), the partition set and the compactor **once** — all three
 through :mod:`repro.experiments.cache`, so they stay hot across batches —
-then fans the per-request diagnoses out through
-:func:`repro.parallel.parallel_map`.  Results are bit-identical to calling
-:func:`repro.core.diagnosis.diagnose` directly, serial or forked (the pool
-preserves order).
+then diagnoses the whole batch in one fused kernel launch
+(:func:`repro.core.diagnosis_batch.diagnose_population`; chunked and
+forked over the pool only when the batch outgrows the chunk bound).
+Results are bit-identical to calling
+:func:`repro.core.diagnosis.diagnose` per request, serial or forked.
 
 Graceful degradation: if the fork pool dies mid-batch (OOM-killed child,
 ``BrokenProcessPool``), the engine logs it, re-runs the batch serially,
@@ -33,7 +34,8 @@ import numpy as np
 
 from ..bist.misr import LinearCompactor
 from ..bist.scan import ScanConfig
-from ..core.diagnosis import DiagnosisResult, diagnose
+from ..core.diagnosis import DiagnosisResult
+from ..core.diagnosis_batch import diagnose_population
 from ..core.partitions import Partition
 from ..experiments import cache
 from ..experiments.config import ExperimentConfig
@@ -43,7 +45,6 @@ from ..experiments.runner import (
     circuit_workload_key,
     scheme_partitions,
 )
-from ..parallel import parallel_map
 from ..sim.bitops import num_words
 from ..sim.faults import Fault
 from ..sim.faultsim import FaultResponse
@@ -252,23 +253,35 @@ class DiagnosisEngine:
         context: WorkloadContext,
         head: DiagnoseRequest,
     ) -> List[Union[DiagnosisResult, ServiceError]]:
+        """One fused kernel launch per coalesced batch.
+
+        The whole batch goes through
+        :func:`repro.core.diagnosis_batch.diagnose_population` — a dynamic
+        batch is exactly a fault population sharing one workload, so the
+        per-request ``parallel_map`` fan-out collapses into a single
+        signature scatter (chunked and forked only when the batch outgrows
+        ``REPRO_DIAGNOSIS_BATCH``).
+        """
         scan = context.scan_config
 
-        def task(i: int) -> DiagnosisResult:
-            return diagnose(responses[i], scan, context.partitions, context.compactor)
+        def run(workers: int) -> List[DiagnosisResult]:
+            return diagnose_population(
+                responses, scan, context.partitions, context.compactor,
+                workers=workers,
+            )
 
         workers = 0 if self._serial_only else self.workers
         with span("service.batch", circuit=head.circuit, scheme=head.scheme,
                   size=len(responses)):
             try:
-                return parallel_map(task, len(responses), workers=workers)
+                return run(workers)
             except Exception as exc:  # noqa: BLE001 - pool death is recoverable
                 log(f"service: worker pool failed ({exc!r}); "
                     "degrading to serial execution")
                 METRICS.incr("service.degraded")
                 self._serial_only = True
             try:
-                return [task(i) for i in range(len(responses))]
+                return run(0)
             except Exception as exc:  # noqa: BLE001 - request-level boundary
                 log(f"service: serial fallback failed: {exc!r}")
                 error = ServiceError("internal_error", f"diagnosis failed: {exc}")

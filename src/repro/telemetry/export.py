@@ -43,6 +43,7 @@ ENV_KNOBS = (
     "REPRO_SCALE",
     "REPRO_SOA",
     "REPRO_FAULT_BATCH",
+    "REPRO_DIAGNOSIS_BATCH",
     "REPRO_SHM",
     "REPRO_SERVE_PORT",
     "REPRO_BATCH_MAX",
@@ -235,14 +236,18 @@ def kernel_selection() -> Dict[str, Any]:
     The import is deferred: the sim stack imports telemetry at module
     load.
     """
+    from ..core.diagnosis_batch import resolve_diagnosis_chunk
     from ..sim.faultsim_batch import resolve_batch_size
     from ..sim.soa import soa_enabled
 
     batch = resolve_batch_size()
+    diagnosis_chunk = resolve_diagnosis_chunk()
     return {
         "gate_eval": "soa" if soa_enabled() else "per-gate",
         "fault_sim": "batched" if batch else "event-driven",
         "fault_batch": batch,
+        "diagnosis": "fused" if diagnosis_chunk else "per-fault",
+        "diagnosis_chunk": diagnosis_chunk,
     }
 
 

@@ -96,17 +96,24 @@ class TestWorkloadErrors:
 
 class TestGracefulDegradation:
     def test_pool_death_falls_back_to_serial_and_latches(self, monkeypatch):
+        from repro.core.diagnosis_batch import diagnose_population
+
         _, expected = direct_results()
         engine = DiagnosisEngine(workers=2)
         calls = {"n": 0}
 
-        def dying_parallel_map(task, num_items, workers=None, min_items=8):
+        def dying_diagnose_population(responses, scan, partitions, compactor,
+                                      workers=None, **kwargs):
             calls["n"] += 1
             if workers != 0:
                 raise RuntimeError("pool died")
-            return [task(i) for i in range(num_items)]
+            return diagnose_population(
+                responses, scan, partitions, compactor, workers=0, **kwargs
+            )
 
-        monkeypatch.setattr(engine_module, "parallel_map", dying_parallel_map)
+        monkeypatch.setattr(
+            engine_module, "diagnose_population", dying_diagnose_population
+        )
         requests = [small_request(i) for i in range(SMALL["fault_count"])]
         replies = engine.execute_batch(requests)
         assert engine.degraded
