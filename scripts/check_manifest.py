@@ -34,6 +34,10 @@ def main(argv=None):
     parser.add_argument("--require-profile", action="store_true",
                         help="require an enabled profile record with at "
                         "least one sample (profiled smoke runs)")
+    parser.add_argument("--require-trace", action="store_true",
+                        help="require every span to carry a valid trace "
+                        "context (32-hex trace id, unique 16-hex span id, "
+                        "acyclic parentage)")
     args = parser.parse_args(argv)
 
     path = Path(args.path)
@@ -67,6 +71,10 @@ def main(argv=None):
             value = kernels.get(field)
             if not isinstance(value, str) or not value:
                 errors.append(f"kernels.{field}: missing or empty")
+    trace_summary = None
+    if args.require_trace:
+        trace_errors, trace_summary = _check_trace(_load_spans(manifest, path))
+        errors.extend(trace_errors)
     if args.require_profile:
         profile = manifest.get("profile")
         if not isinstance(profile, dict) or not profile.get("enabled"):
@@ -84,7 +92,113 @@ def main(argv=None):
           f"v{manifest['schema_version']} ({len(stages)} stages, "
           f"{len(counters)} counters; {selected})")
     print(_profile_summary(manifest.get("profile")))
+    if trace_summary is not None:
+        print(trace_summary)
     return 0
+
+
+def _load_spans(manifest, manifest_path):
+    """The manifest's span trees, inline or via its ``trace_file``.
+
+    Manifests stay lean — they embed the aggregated ``span_rollup`` and
+    point at the full tree through ``trace_file`` (one root span JSON
+    object per line, children nested).  Accept inline ``spans`` too so
+    hand-built manifests can be checked without a side file.  Relative
+    ``trace_file`` paths resolve against the manifest's directory first
+    (the CLI writes both files side by side), then the cwd.
+    """
+    inline = manifest.get("spans")
+    if isinstance(inline, list) and inline:
+        return inline
+    trace_file = manifest.get("trace_file")
+    if not isinstance(trace_file, str) or not trace_file:
+        return []
+    candidates = [manifest_path.parent / trace_file, Path(trace_file)]
+    for candidate in candidates:
+        try:
+            lines = candidate.read_text().splitlines()
+        except OSError:
+            continue
+        spans = []
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                spans.append(json.loads(line))
+            except json.JSONDecodeError:
+                return []
+        return spans
+    return []
+
+
+def _hexid(value, width):
+    if not isinstance(value, str) or len(value) != width:
+        return False
+    try:
+        return int(value, 16) != 0
+    except ValueError:
+        return False
+
+
+def _check_trace(spans):
+    """Validate trace context across the manifest's span trees.
+
+    Returns ``(errors, summary_line)``.  Every span must carry a non-zero
+    32-hex ``trace_id`` and a unique non-zero 16-hex ``span_id``; following
+    ``parent_id`` links must never revisit a span (dangling parents are
+    fine — a client-side parent span lives outside the manifest).
+    """
+    errors = []
+    flat = []
+
+    def walk(node, depth=0):
+        if not isinstance(node, dict) or depth > 64:
+            return
+        flat.append(node)
+        for child in node.get("children") or []:
+            walk(child, depth + 1)
+
+    for root in spans if isinstance(spans, list) else []:
+        walk(root)
+    if not flat:
+        return (["spans: no spans recorded (--require-trace)"],
+                "trace: no spans")
+
+    parents = {}
+    for span in flat:
+        name = span.get("name", "?")
+        trace_id = span.get("trace_id")
+        span_id = span.get("span_id")
+        if not _hexid(trace_id, 32):
+            errors.append(f"spans: {name!r} has invalid trace_id "
+                          f"{trace_id!r}")
+        if not _hexid(span_id, 16):
+            errors.append(f"spans: {name!r} has invalid span_id {span_id!r}")
+        elif span_id in parents:
+            errors.append(f"spans: duplicate span_id {span_id!r} ({name!r})")
+        else:
+            parents[span_id] = span.get("parent_id")
+
+    cycles = 0
+    for span_id in parents:
+        seen = set()
+        cursor = span_id
+        while cursor is not None and cursor in parents:
+            if cursor in seen:
+                errors.append(f"spans: parentage cycle through {cursor!r}")
+                cycles += 1
+                break
+            seen.add(cursor)
+            cursor = parents[cursor]
+
+    traces = {s.get("trace_id") for s in flat}
+    roots = sum(1 for s in flat
+                if s.get("parent_id") is None
+                or s.get("parent_id") not in parents)
+    summary = (f"trace: {len(flat)} spans across {len(traces)} trace(s), "
+               f"{roots} root(s), parentage "
+               + ("acyclic" if not cycles else f"{cycles} cycle(s)"))
+    return errors, summary
 
 
 def _profile_summary(profile):

@@ -49,6 +49,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.service.client import ServiceClient, TransportError  # noqa: E402
 from repro.service.protocol import ServiceError  # noqa: E402
+from repro.telemetry import new_trace_id  # noqa: E402
 
 
 def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
@@ -96,6 +97,10 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
     parser.add_argument("--retries", type=int, default=None,
                         help="client retries per request on transport errors "
                         "(default 2 under --kill-one-at, else 0)")
+    parser.add_argument("--trace", action="store_true",
+                        help="mint a client trace id per request (sent as a "
+                        "traceparent header) and record the ids in the "
+                        "report — feed them to GET /debug/trace/<id>")
     parser.add_argument("--out", default="loadgen.json")
     args = parser.parse_args(argv)
     if args.kill_one_at is not None and (not args.spawn or args.workers < 2):
@@ -142,6 +147,62 @@ def control_get(args: argparse.Namespace, path: str) -> Dict[str, Any]:
         return json.loads(response.read().decode("utf-8"))
     finally:
         conn.close()
+
+
+def control_get_text(args: argparse.Namespace, path: str) -> str:
+    """GET a text payload (e.g. folded profile stacks) from the control port."""
+    import http.client
+
+    conn = http.client.HTTPConnection(args.host, args.control_port,
+                                      timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        body = response.read().decode("utf-8", "replace")
+        if response.status >= 400:
+            raise TransportError(f"GET {path} -> {response.status}: "
+                                 f"{body[:200]}")
+        return body
+    finally:
+        conn.close()
+
+
+def check_debug_plane(args: argparse.Namespace, client: ServiceClient,
+                      trace_ids: List[str]) -> Dict[str, Any]:
+    """Exercise the debug plane after a traced run.
+
+    Fetches the assembled span tree for sampled trace ids — via the
+    supervisor control port on a cluster (fleet-merged), the service
+    port otherwise — plus a 1-second profile burst, and records what
+    came back.  The CI observability job asserts on these fields.
+    """
+    result: Dict[str, Any] = {"trace": None, "profile_stacks": 0}
+    tree: Optional[Dict[str, Any]] = None
+    for trace_id in trace_ids[:5]:
+        if args.workers > 1:
+            candidate = control_get(args, f"/debug/trace/{trace_id}")
+        else:
+            candidate = client.debug_trace(trace_id)
+        if candidate.get("span_count"):
+            tree = candidate
+            if len(candidate.get("pids") or ()) >= 2:
+                break
+    if tree is not None:
+        result["trace"] = {
+            "trace_id": tree.get("trace_id"),
+            "span_count": tree.get("span_count"),
+            "pids": tree.get("pids"),
+            "roots": len(tree.get("roots") or ()),
+            "span_names": sorted({r.get("name", "?")
+                                  for r in tree.get("records") or ()}),
+        }
+    if args.workers > 1:
+        folded = control_get_text(args, "/debug/profile?seconds=1")
+    else:
+        folded = client.debug_profile(seconds=1.0)
+    result["profile_stacks"] = sum(
+        1 for line in folded.splitlines() if line.strip())
+    return result
 
 
 def wait_cluster_ready(args: argparse.Namespace,
@@ -205,14 +266,19 @@ def chaos_kill_one(args: argparse.Namespace, progress,
 
 
 class Outcome:
-    __slots__ = ("code", "latency_s", "fault_index", "candidates")
+    __slots__ = ("code", "latency_s", "fault_index", "candidates",
+                 "trace_id", "trace_echoed")
 
     def __init__(self, code: str, latency_s: float, fault_index: int,
-                 candidates: Optional[tuple] = None):
+                 candidates: Optional[tuple] = None,
+                 trace_id: Optional[str] = None,
+                 trace_echoed: Optional[bool] = None):
         self.code = code
         self.latency_s = latency_s
         self.fault_index = fault_index
         self.candidates = candidates
+        self.trace_id = trace_id
+        self.trace_echoed = trace_echoed
 
 
 def run_load(args: argparse.Namespace,
@@ -270,19 +336,24 @@ def run_load(args: argparse.Namespace,
                     "timeout_ms": args.timeout_ms,
                     "request_id": str(k),
                 }
+                trace_id = new_trace_id() if args.trace else None
                 started = time.monotonic()
                 outcome: Optional[Outcome] = None
                 for attempt in range(args.retries + 1):
                     try:
-                        reply = client.diagnose(payload)
+                        reply = client.diagnose(payload, trace_id=trace_id)
                         outcome = Outcome("ok", time.monotonic() - started,
                                           fault_index,
-                                          tuple(reply.candidate_cells))
+                                          tuple(reply.candidate_cells),
+                                          trace_id=trace_id,
+                                          trace_echoed=(
+                                              reply.trace_id == trace_id
+                                              if trace_id else None))
                         break
                     except ServiceError as exc:
                         outcome = Outcome(exc.code,
                                           time.monotonic() - started,
-                                          fault_index)
+                                          fault_index, trace_id=trace_id)
                         break
                     except TransportError:
                         # A kill -9'd worker drops its connections; with a
@@ -505,11 +576,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                     not chaos_result.get("skipped"):
                 failed = True
         report["service"] = summarize(outcomes, wall_s)
+        if args.trace:
+            ok_traced = [o for o in outcomes
+                         if o.code == "ok" and o.trace_id]
+            report["tracing"] = {
+                "sent": sum(1 for o in outcomes if o.trace_id),
+                "ok": len(ok_traced),
+                "echoed": sum(1 for o in ok_traced if o.trace_echoed),
+                # Late outcomes sit past warmup, when coalesced batches
+                # are big enough to fan out to fork workers — their
+                # trees are the interesting ones for /debug/trace.
+                "sample_trace_ids": [o.trace_id for o in ok_traced[-20:]],
+            }
 
         if args.workers > 1:
             report["metrics_after"] = check_cluster_metrics(args)
         else:
             report["metrics_after"] = check_metrics(client)
+        if args.trace and report["tracing"]["sample_trace_ids"]:
+            try:
+                report["tracing"]["debug"] = check_debug_plane(
+                    args, client, report["tracing"]["sample_trace_ids"])
+            except (ServiceError, TransportError, OSError, ValueError) as exc:
+                report["tracing"]["debug"] = {"error": str(exc)}
         if args.verify:
             report["determinism"] = verify_determinism(args, outcomes)
             if not report["determinism"]["ok"]:

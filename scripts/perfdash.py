@@ -104,9 +104,20 @@ def load_series(
 
     Only numeric scalar metrics are tracked; a metric absent from a given
     report simply has a gap in its series (kernels land mid-sequence).
+    The PR 10 ``serve_overhead`` section contributes its
+    ``serve_overhead_pct`` under the pseudo-circuit ``serve`` — a
+    lower-is-better percentage, displayed but never trend-gated here
+    (bench.py's ``--check`` enforces its absolute 3% budget per run).
     """
     series: Dict[Tuple[str, str], List[Tuple[int, float]]] = {}
     for pr, _path, data in reports:
+        overhead = data.get("serve_overhead")
+        if isinstance(overhead, dict) and isinstance(
+            overhead.get("serve_overhead_pct"), (int, float)
+        ):
+            series.setdefault(("serve", "serve_overhead_pct"), []).append(
+                (pr, float(overhead["serve_overhead_pct"]))
+            )
         for entry in data["circuits"]:
             if not isinstance(entry, dict):
                 continue

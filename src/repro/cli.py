@@ -17,6 +17,10 @@ Entry points (also runnable as ``python -m repro.cli``):
   (:mod:`repro.cluster`): N supervised server processes on one port.
 * ``repro-cluster`` — shorthand for ``repro serve --workers N`` with N
   defaulting to ``REPRO_CLUSTER_WORKERS`` or the CPU count.
+* ``repro-top`` / ``python -m repro.cli top`` — refreshing terminal
+  dashboard over a serving endpoint's ``/metrics`` + ``/debug/requests``
+  (rps, latency quantiles, queue depth, per-worker health, slowest
+  traces); point it at a server port or a supervisor control port.
 * ``python -m repro.cli stats <manifest.json|trace.jsonl>`` — render the
   hot-path table and cache/pool summaries of a previous traced run.
 
@@ -609,6 +613,13 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     return _serve_main(argv)
 
 
+def top_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-top`` (lazy import like ``serve``)."""
+    from .service.top import top_main as _top_main
+
+    return _top_main(argv)
+
+
 def cluster_main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``repro-cluster``: ``repro serve`` with the prefork
     cluster on by default (``--workers`` falls back to
@@ -625,10 +636,12 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
-    """``python -m repro.cli [diagnose|experiment|serve|stats] ...``"""
+    """``python -m repro.cli [diagnose|experiment|serve|stats|top] ...``"""
     argv = list(sys.argv[1:] if argv is None else argv)
-    if not argv or argv[0] not in ("diagnose", "experiment", "serve", "stats"):
-        print("usage: python -m repro.cli {diagnose,experiment,serve,stats} ...",
+    commands = ("diagnose", "experiment", "serve", "stats", "top")
+    if not argv or argv[0] not in commands:
+        print("usage: python -m repro.cli "
+              "{diagnose,experiment,serve,stats,top} ...",
               file=sys.stderr)
         return 2
     command = argv.pop(0)
@@ -638,6 +651,8 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
         return serve_main(argv)
     if command == "stats":
         return stats_main(argv)
+    if command == "top":
+        return top_main(argv)
     return experiment_main(argv)
 
 

@@ -22,6 +22,13 @@ Message types (``msg["type"]``):
   ``uptime_s`` and (every beat) the worker's ``metrics`` registry
   snapshot plus its ``latency`` board state for fleet aggregation.
 * ``drained``   — drain finished; the worker is about to exit 0.
+* ``debug``     — supervisor → worker: one forwarded ``GET /debug/*``
+  request; carries ``id`` (correlation), ``op`` (``requests`` /
+  ``trace`` / ``profile``) and the op's parameters (``limit``,
+  ``trace_id``, ``seconds``/``hz``).
+* ``debug_reply`` — worker → supervisor: echoes ``id``/``op`` plus the
+  op's ``body`` (flight snapshot, trace records, or folded stacks); the
+  supervisor merges bodies across workers before answering HTTP.
 """
 
 from __future__ import annotations

@@ -25,6 +25,12 @@ behind a single listen port and supervises them:
   text via ``?format=prometheus`` / ``Accept: text/plain``) with counters
   summed, latency histograms merged bucket-wise and per-worker
   ``up``/``restarts`` gauges, plus ``GET /healthz`` reflecting quorum.
+* **Debug plane proxy** — ``GET /debug/requests``, ``/debug/trace/<id>``
+  and ``/debug/profile`` on the control port fan out as ``debug`` frames
+  to every READY worker; the HTTP connection parks until each worker's
+  ``debug_reply`` lands (or a deadline passes), then the bodies merge:
+  flight snapshots keyed by slot, trace records pooled and re-assembled
+  into one fleet-wide span tree, folded profiler stacks summed.
 
 Entry points: ``repro serve --workers N`` and ``repro-cluster`` (see
 :func:`repro.service.server.serve_main`).  The supervisor itself is a
@@ -46,10 +52,11 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..telemetry import (
     METRICS,
     PROMETHEUS_CONTENT_TYPE,
+    assemble_tree,
     log,
     render_prometheus,
 )
-from .control import ControlChannelError, FrameDecoder
+from .control import ControlChannelError, FrameDecoder, encode_frame
 from .merge import (
     latency_prometheus_series,
     latency_summary,
@@ -108,19 +115,49 @@ class WorkerSlot:
                 round(now - self.last_seen, 3) if self.live else None
             ),
             "draining": self.draining,
+            #: Cumulative request count from the last heartbeat — lets
+            #: ``repro top`` derive per-worker rps from poll deltas.
+            "requests_total": int(sum(self.requests.values())),
         }
 
 
 class _HttpConn:
     """One in-flight control-port HTTP exchange (read → respond → close)."""
 
-    __slots__ = ("sock", "inbuf", "outbuf", "opened_at")
+    __slots__ = ("sock", "inbuf", "outbuf", "opened_at", "deadline")
 
     def __init__(self, sock: socket.socket):
         self.sock = sock
         self.inbuf = bytearray()
         self.outbuf = b""
         self.opened_at = time.monotonic()
+        #: Sweep cutoff; a parked ``/debug`` fan-out pushes this out past
+        #: the default 10s (a profile burst legitimately takes longer).
+        self.deadline = self.opened_at + 10.0
+
+
+class _DebugFanout:
+    """One parked ``/debug/*`` request awaiting worker ``debug_reply``s."""
+
+    __slots__ = ("op", "conn", "waiting", "replies", "deadline")
+
+    def __init__(self, op: str, conn: _HttpConn, deadline: float):
+        self.op = op
+        self.conn = conn
+        #: Slot indices still owing a reply.
+        self.waiting: set = set()
+        #: slot index -> reply body.
+        self.replies: Dict[int, Any] = {}
+        self.deadline = deadline
+
+
+def _query_params(query: str) -> Dict[str, str]:
+    params: Dict[str, str] = {}
+    for part in query.split("&"):
+        if "=" in part:
+            name, _, value = part.partition("=")
+            params[name.strip()] = value.strip()
+    return params
 
 
 class ClusterSupervisor:
@@ -181,6 +218,8 @@ class ClusterSupervisor:
         self._http_sock: Optional[socket.socket] = None
         self._selector: Optional[selectors.BaseSelector] = None
         self._conns: Dict[socket.socket, _HttpConn] = {}
+        self._debug_seq = 0
+        self._debug_pending: Dict[int, _DebugFanout] = {}
         self._draining = False
         self._drain_deadline = 0.0
         self._drain_kills = 0
@@ -412,6 +451,8 @@ class ClusterSupervisor:
                 slot.state = READY
         elif kind == "drained":
             slot.draining = True
+        elif kind == "debug_reply":
+            self._on_debug_reply(slot, message)
 
     def _unregister(self, slot: WorkerSlot) -> None:
         if slot.sock is None:
@@ -433,6 +474,7 @@ class ClusterSupervisor:
         self._check_liveness(now)
         self._respawn_due(now)
         self._advance_rolling(now)
+        self._expire_fanouts(now)
         self._sweep_http(now)
         if self._draining:
             self._advance_drain(now)
@@ -619,9 +661,23 @@ class ClusterSupervisor:
             if len(state.inbuf) > 16384:
                 self._close_conn(sock)
             return
-        state.outbuf = self._respond(bytes(state.inbuf))
-        assert self._selector is not None
-        self._selector.modify(sock, selectors.EVENT_WRITE, ("http", None))
+        response = self._respond(bytes(state.inbuf), state)
+        if response is None:
+            return  # parked: a /debug fan-out will complete it
+        self._complete_conn(state, response)
+
+    def _complete_conn(self, state: _HttpConn, response: bytes) -> None:
+        """Attach a response to a conn and start flushing it."""
+        if self._conns.get(state.sock) is not state:
+            return  # closed while parked
+        state.outbuf = response
+        try:
+            assert self._selector is not None
+            self._selector.modify(state.sock, selectors.EVENT_WRITE,
+                                  ("http", None))
+        except (KeyError, ValueError, OSError):
+            self._close_conn(state.sock)
+            return
         self._flush_conn(state)
 
     def _flush_conn(self, state: _HttpConn) -> None:
@@ -650,10 +706,13 @@ class ClusterSupervisor:
 
     def _sweep_http(self, now: float) -> None:
         for sock, state in list(self._conns.items()):
-            if now - state.opened_at > 10.0:
+            if now > state.deadline:
                 self._close_conn(sock)
 
-    def _respond(self, raw: bytes) -> bytes:
+    def _respond(self, raw: bytes,
+                 state: Optional[_HttpConn] = None) -> Optional[bytes]:
+        """Route one control-port request; ``None`` parks the connection
+        (a ``/debug`` fan-out completes it from :meth:`_finish_fanout`)."""
         try:
             text = raw.decode("latin-1")
             request_line = text.splitlines()[0]
@@ -663,6 +722,8 @@ class ClusterSupervisor:
         path, _, query = target.partition("?")
         if method != "GET":
             return self._http_response(404, {"error": "GET only"})
+        if path.startswith("/debug/") and state is not None:
+            return self._start_debug_fanout(state, path, query)
         if path == "/healthz":
             payload, healthy = self.health_payload()
             return self._http_response(200 if healthy else 503, payload)
@@ -685,6 +746,118 @@ class ClusterSupervisor:
                     200, body, content_type=PROMETHEUS_CONTENT_TYPE)
             return self._http_response(200, self.metrics_payload())
         return self._http_response(404, {"error": f"no route for {path}"})
+
+    # -- debug fan-out -------------------------------------------------------
+
+    def _start_debug_fanout(self, state: _HttpConn, path: str,
+                            query: str) -> Optional[bytes]:
+        """Forward a ``/debug/*`` request to every READY worker.
+
+        Returns response bytes for immediate errors, or ``None`` after
+        parking ``state`` — :meth:`_finish_fanout` completes it once all
+        replies land (or :meth:`_expire_fanouts` gives up at deadline).
+        """
+        params = _query_params(query)
+        grace = 5.0
+        try:
+            if path == "/debug/requests":
+                op = "requests"
+                frame: Dict[str, Any] = {
+                    "op": op, "limit": int(params.get("limit") or 50)}
+            elif path.startswith("/debug/trace/") and len(path) > 13:
+                op = "trace"
+                frame = {"op": op, "trace_id": path[len("/debug/trace/"):]}
+            elif path == "/debug/profile":
+                op = "profile"
+                seconds = min(max(float(params.get("seconds") or 1.0),
+                                  0.05), 30.0)
+                frame = {"op": op, "seconds": seconds}
+                if params.get("hz"):
+                    frame["hz"] = int(params["hz"])
+                grace = seconds + 10.0
+            else:
+                return self._http_response(
+                    404, {"error": f"no route for {path}"})
+        except ValueError:
+            return self._http_response(
+                404, {"error": "debug parameters must be numeric"})
+        self._debug_seq += 1
+        frame = {"type": "debug", "id": self._debug_seq, **frame}
+        now = time.monotonic()
+        fan = _DebugFanout(op, state, now + grace)
+        wire = encode_frame(frame)
+        for slot in self.slots:
+            if slot.state != READY or slot.sock is None:
+                continue
+            try:
+                slot.sock.sendall(wire)
+            except (BlockingIOError, OSError):
+                continue  # dead channel; reaping will handle the worker
+            fan.waiting.add(slot.index)
+        if not fan.waiting:
+            return self._http_response(503, {"error": "no live workers"})
+        self._debug_pending[self._debug_seq] = fan
+        state.deadline = now + grace + 2.0  # outlive the fan-out deadline
+        return None
+
+    def _on_debug_reply(self, slot: WorkerSlot, message: Dict[str, Any]) -> None:
+        fan = self._debug_pending.get(message.get("id"))
+        if fan is None or slot.index not in fan.waiting:
+            return
+        fan.waiting.discard(slot.index)
+        fan.replies[slot.index] = message.get("body")
+        if not fan.waiting:
+            self._finish_fanout(message["id"], fan)
+
+    def _expire_fanouts(self, now: float) -> None:
+        for seq, fan in list(self._debug_pending.items()):
+            if now > fan.deadline:
+                log(f"cluster: debug fan-out {seq} ({fan.op}) timed out "
+                    f"awaiting slots {sorted(fan.waiting)}")
+                self._finish_fanout(seq, fan)
+
+    def _finish_fanout(self, seq: int, fan: _DebugFanout) -> None:
+        self._debug_pending.pop(seq, None)
+        replies = {
+            index: body for index, body in fan.replies.items()
+            if isinstance(body, dict)
+        }
+        if fan.op == "profile":
+            # Folded stacks merge by summing counts per stack.
+            merged: Dict[str, int] = {}
+            for body in replies.values():
+                for line in body.get("folded", ()):
+                    stack, _, count = str(line).rpartition(" ")
+                    try:
+                        merged[stack] = merged.get(stack, 0) + int(count)
+                    except ValueError:
+                        continue
+            text = "".join(f"{stack} {count}\n"
+                           for stack, count in sorted(merged.items()))
+            response = self._http_response(
+                200, text.encode("utf-8"), content_type="text/plain; charset=utf-8")
+        elif fan.op == "trace":
+            # Pool every worker's raw records, then assemble one tree.
+            trace_id = ""
+            pooled: List[Dict[str, Any]] = []
+            seen: set = set()
+            for body in replies.values():
+                trace_id = body.get("trace_id") or trace_id
+                for record in body.get("records", ()):
+                    span_id = record.get("span_id")
+                    if span_id in seen:
+                        continue
+                    seen.add(span_id)
+                    pooled.append(record)
+            tree = assemble_tree(pooled, trace_id)
+            tree["workers"] = sorted(replies)
+            response = self._http_response(200, tree)
+        else:
+            response = self._http_response(200, {
+                "workers": {str(index): body
+                            for index, body in sorted(replies.items())},
+            })
+        self._complete_conn(fan.conn, response)
 
     @staticmethod
     def _http_response(status: int, payload: Any,

@@ -9,6 +9,13 @@ the heartbeat loop, which ships liveness plus the worker's
 ``MetricsRegistry`` snapshot and latency-board state to the supervisor
 over the control socket every ``heartbeat_s``.
 
+The control socket is read as well as written: the supervisor forwards
+``GET /debug/*`` requests from its control port as ``debug`` frames
+(``op`` = ``requests`` / ``trace`` / ``profile``), and the worker answers
+with a ``debug_reply`` carrying its flight-recorder snapshot, the raw
+span records for a trace id, or a profiler burst's folded stacks — the
+supervisor merges the per-worker bodies into one fleet-wide answer.
+
 Lifecycle:
 
 * fork → reset inherited signal dispositions and the (supervisor-
@@ -32,10 +39,10 @@ import time
 from typing import Any, Dict, Iterable, Optional
 
 from ..service.engine import DiagnosisEngine
-from ..service.protocol import DiagnoseRequest
+from ..service.protocol import DiagnoseRequest, ServiceError
 from ..service.server import DiagnosisServer
-from ..telemetry import METRICS, log
-from .control import encode_frame
+from ..telemetry import FLIGHT, METRICS, log
+from .control import ControlChannelError, FrameDecoder, encode_frame
 
 #: Signals whose inherited dispositions a fresh worker resets.
 _RESET_SIGNALS = ("SIGTERM", "SIGINT", "SIGHUP", "SIGCHLD", "SIGUSR1")
@@ -147,10 +154,58 @@ async def _run_worker(
         return 0
     log(f"cluster[{slot}]: ready on port {server.port} (pid {os.getpid()})")
 
+    async def handle_debug(message: Dict[str, Any]) -> None:
+        """Answer one ``debug`` frame (runs as its own task — a profile
+        burst sleeps for seconds and must not stall the control reader)."""
+        op = message.get("op")
+        try:
+            if op == "requests":
+                body = server._debug_requests_payload(
+                    f"limit={int(message.get('limit') or 50)}")
+            elif op == "trace":
+                body = server._debug_trace_payload(
+                    str(message.get("trace_id") or ""))
+            elif op == "profile":
+                seconds = min(max(float(message.get("seconds") or 1.0),
+                                  0.05), 30.0)
+                hz = message.get("hz")
+                folded = await loop.run_in_executor(
+                    None, server._profile_burst, seconds,
+                    int(hz) if hz else None)
+                body = {"folded": folded}
+            else:
+                body = {"error": f"unknown debug op {op!r}"}
+        except ServiceError as exc:
+            body = {"error": exc.message, "code": exc.code}
+        except Exception as exc:  # noqa: BLE001 - debug must not kill serving
+            body = {"error": repr(exc)}
+        await send({"type": "debug_reply", "id": message.get("id"),
+                    "op": op, "body": body})
+
+    async def control_loop() -> None:
+        """Read supervisor frames (today: only ``debug`` requests)."""
+        decoder = FrameDecoder()
+        while True:
+            try:
+                data = await loop.sock_recv(control_sock, 65536)
+            except (ConnectionError, OSError):
+                return
+            if not data:
+                return  # EOF: heartbeat send will notice and drain
+            try:
+                messages = decoder.feed(data)
+            except ControlChannelError as exc:
+                log(f"cluster[{slot}]: corrupt control frame ({exc})")
+                return
+            for message in messages:
+                if message.get("type") == "debug":
+                    asyncio.ensure_future(handle_debug(message))
+
     async def heartbeat_loop() -> None:
         seq = 0
         while True:
             seq += 1
+            flight = FLIGHT.snapshot(limit=1)
             alive = await send({
                 "type": "heartbeat",
                 "seq": seq,
@@ -161,6 +216,8 @@ async def _run_worker(
                 "requests": dict(server._request_counts),
                 "metrics": METRICS.snapshot(),
                 "latency": server.latency.state(),
+                "flight": {"recorded": flight["recorded"],
+                           "capacity": flight["capacity"]},
             })
             if not alive:
                 # Supervisor died; drain and exit instead of serving as
@@ -171,10 +228,12 @@ async def _run_worker(
             await asyncio.sleep(heartbeat_s)
 
     heartbeat = asyncio.ensure_future(heartbeat_loop())
+    control = asyncio.ensure_future(control_loop())
     try:
         await server.serve_forever()
     finally:
         heartbeat.cancel()
-        await asyncio.gather(heartbeat, return_exceptions=True)
+        control.cancel()
+        await asyncio.gather(heartbeat, control, return_exceptions=True)
     await send({"type": "drained"})
     return 0

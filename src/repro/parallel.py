@@ -34,7 +34,16 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
-from .telemetry import METRICS, PROFILER, TRACER, span
+from .telemetry import (
+    FLIGHT,
+    METRICS,
+    PROFILER,
+    TRACER,
+    current_trace,
+    make_record,
+    new_span_id,
+    span,
+)
 
 #: Populations smaller than this never fork (the pool costs more than it saves).
 MIN_PARALLEL_ITEMS = 8
@@ -63,6 +72,11 @@ class Codec(NamedTuple):
 
 _ACTIVE_TASK: Optional[Callable[[int], Any]] = None
 _ACTIVE_CODEC: Optional[Codec] = None
+#: ``(trace_id, parent_span_id)`` of the request/batch span active when
+#: the pool was created.  A contextvar cannot carry this into the forked
+#: child's worker (the executor runs chunks outside the submitting
+#: context), so it rides the same fork-inheritance path as the task.
+_ACTIVE_TRACE: Optional[Tuple[str, str]] = None
 
 
 def fork_available() -> bool:
@@ -122,6 +136,14 @@ def _run_chunk(indices: Sequence[int]) -> Tuple[List[Any], Dict[str, Any]]:
         "metrics": METRICS.diff(before),
         "spans": span_dicts,
     }
+    if _ACTIVE_TRACE is not None and FLIGHT.enabled:
+        trace_id, parent_span = _ACTIVE_TRACE
+        payload["flight_spans"] = [make_record(
+            "pool.chunk", trace_id, new_span_id(),
+            parent_id=parent_span, kind="chunk",
+            start=time.time() - busy_s, duration_ms=busy_s * 1000,
+            tasks=len(indices),
+        )]
     if profile_before is not None:
         payload["profile"] = PROFILER.data.diff(profile_before)
     if _ACTIVE_CODEC is not None:
@@ -159,6 +181,7 @@ def _absorb_payloads(payloads: Sequence[Dict[str, Any]], wall_s: float) -> None:
         METRICS.merge(payload.get("metrics"))
         TRACER.adopt(payload.get("spans", []))
         PROFILER.data.merge(payload.get("profile"))
+        FLIGHT.record_many(payload.get("flight_spans", ()))
         pid = payload.get("pid")
         if pid not in worker_index:
             # Stable worker labels (pids vary run to run, enumeration
@@ -203,7 +226,7 @@ def parallel_map(
     workers = resolve_workers(workers)
     if workers <= 1 or num_items < max(min_items, 2) or not fork_available():
         return [task(i) for i in range(num_items)]
-    global _ACTIVE_TASK, _ACTIVE_CODEC
+    global _ACTIVE_TASK, _ACTIVE_CODEC, _ACTIVE_TRACE
     if _ACTIVE_TASK is not None:
         # Nested parallelism: the inner level runs serially.
         return [task(i) for i in range(num_items)]
@@ -211,6 +234,7 @@ def parallel_map(
     context = multiprocessing.get_context("fork")
     _ACTIVE_TASK = task
     _ACTIVE_CODEC = codec
+    _ACTIVE_TRACE = current_trace()
     chunks = _chunk_indices(num_items, workers)
     started = time.perf_counter()
     try:
@@ -224,6 +248,7 @@ def parallel_map(
     finally:
         _ACTIVE_TASK = None
         _ACTIVE_CODEC = None
+        _ACTIVE_TRACE = None
     return [
         result
         for results, _ in chunk_results

@@ -25,7 +25,7 @@ import asyncio
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional
+from typing import Deque, List, Optional, Tuple
 
 from ..telemetry import METRICS
 from .protocol import DiagnoseRequest, ServiceError
@@ -40,6 +40,9 @@ class PendingRequest:
     enqueued_at: float = field(default_factory=time.monotonic)
     #: Absolute monotonic deadline (None = no per-request timeout).
     deadline: Optional[float] = None
+    #: ``(trace_id, server_span_id)`` minted (or accepted) at the edge;
+    #: the engine links the coalesced batch span to every member's pair.
+    trace: Optional[Tuple[str, str]] = None
 
     @property
     def expired(self) -> bool:

@@ -20,8 +20,10 @@ import http.client
 import json
 import socket
 import time
+import urllib.parse
 from typing import Any, Dict, Optional, Union
 
+from ..telemetry import format_traceparent, new_span_id
 from .protocol import DiagnoseReply, DiagnoseRequest, ServiceError
 
 
@@ -60,16 +62,24 @@ class ServiceClient:
         self.close()
 
     def _request(self, method: str, path: str,
-                 body: Optional[Dict[str, Any]] = None) -> tuple:
-        """(status, decoded JSON payload); retries once on a stale socket."""
+                 body: Optional[Dict[str, Any]] = None,
+                 extra_headers: Optional[Dict[str, str]] = None,
+                 raw: bool = False) -> tuple:
+        """(status, decoded JSON payload); retries once on a stale socket.
+
+        ``raw=True`` skips JSON decoding and returns the body bytes
+        (``/debug/profile`` answers ``text/plain``).
+        """
         payload = json.dumps(body).encode("utf-8") if body is not None else None
         headers = {"Content-Type": "application/json"} if payload else {}
+        if extra_headers:
+            headers.update(extra_headers)
         for attempt in (0, 1):
             conn = self._connection()
             try:
                 conn.request(method, path, body=payload, headers=headers)
                 response = conn.getresponse()
-                raw = response.read()
+                data = response.read()
                 break
             except (http.client.HTTPException, ConnectionError,
                     socket.timeout, OSError) as exc:
@@ -78,8 +88,10 @@ class ServiceClient:
                 self.close()
                 if attempt:
                     raise TransportError(f"{method} {path}: {exc}") from exc
+        if raw:
+            return response.status, data
         try:
-            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            decoded = json.loads(data.decode("utf-8")) if data else {}
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise TransportError(
                 f"{method} {path}: undecodable response body") from exc
@@ -101,11 +113,25 @@ class ServiceClient:
     # -- API -----------------------------------------------------------------
 
     def diagnose(
-        self, request: Union[DiagnoseRequest, Dict[str, Any]]
+        self, request: Union[DiagnoseRequest, Dict[str, Any]],
+        trace_id: Optional[str] = None,
     ) -> DiagnoseReply:
+        """POST one diagnosis request.
+
+        ``trace_id`` (32 lowercase hex chars; mint one with
+        ``repro.telemetry.new_trace_id()``) rides the ``traceparent``
+        header so the server threads it through coalescing, the engine,
+        and fork workers; the reply's ``trace_id`` always names the trace
+        (client-supplied or server-minted) — feed it to
+        :meth:`debug_trace` for the assembled span tree.
+        """
         body = request.to_payload() if isinstance(request, DiagnoseRequest) \
             else dict(request)
-        status, payload = self._request("POST", "/diagnose", body)
+        extra = None
+        if trace_id:
+            extra = {"traceparent": format_traceparent(trace_id, new_span_id())}
+        status, payload = self._request("POST", "/diagnose", body,
+                                        extra_headers=extra)
         self._raise_for_error(status, payload)
         return DiagnoseReply.from_payload(payload)
 
@@ -119,6 +145,45 @@ class ServiceClient:
         status, payload = self._request("GET", "/metrics")
         self._raise_for_error(status, payload)
         return payload
+
+    def debug_requests(self, limit: int = 50) -> Dict[str, Any]:
+        """Flight-recorder snapshot: recent/slow/error request exemplars."""
+        status, payload = self._request("GET", f"/debug/requests?limit={limit}")
+        self._raise_for_error(status, payload)
+        return payload
+
+    def debug_trace(self, trace_id: str) -> Dict[str, Any]:
+        """The assembled span tree (plus raw records) for one trace id."""
+        quoted = urllib.parse.quote(trace_id, safe="")
+        status, payload = self._request("GET", f"/debug/trace/{quoted}")
+        self._raise_for_error(status, payload)
+        return payload
+
+    def debug_flightrec(self, capacity: Optional[int] = None) -> Dict[str, Any]:
+        """Flight-recorder state; pass ``capacity`` to resize it live
+        (``0`` disables recording until a later resize)."""
+        if capacity is None:
+            status, payload = self._request("GET", "/debug/flightrec")
+        else:
+            status, payload = self._request("POST", "/debug/flightrec",
+                                            {"capacity": capacity})
+        self._raise_for_error(status, payload)
+        return payload
+
+    def debug_profile(self, seconds: float = 1.0,
+                      hz: Optional[int] = None) -> str:
+        """On-demand profiler burst; returns collapsed-stack text."""
+        path = f"/debug/profile?seconds={seconds:g}"
+        if hz:
+            path += f"&hz={hz}"
+        status, data = self._request("GET", path, raw=True)
+        if status >= 400:
+            try:
+                payload = json.loads(data.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                payload = {}
+            self._raise_for_error(status, payload)
+        return data.decode("utf-8")
 
     def wait_ready(self, timeout_s: float = 30.0, interval_s: float = 0.05) -> None:
         """Poll /healthz until the server answers (readiness gate)."""

@@ -26,9 +26,10 @@ about to use) until the cache's byte estimate fits.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Union
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -48,7 +49,15 @@ from ..experiments.runner import (
 from ..sim.bitops import num_words
 from ..sim.faults import Fault
 from ..sim.faultsim import FaultResponse
-from ..telemetry import METRICS, log, span
+from ..telemetry import (
+    FLIGHT,
+    METRICS,
+    log,
+    make_record,
+    new_span_id,
+    span,
+    trace_scope,
+)
 from .protocol import DiagnoseReply, DiagnoseRequest, ServiceError
 
 #: A batch slot resolves to either a reply or a per-request error.
@@ -165,13 +174,23 @@ class DiagnosisEngine:
 
     # -- execution ------------------------------------------------------------
 
-    def execute_batch(self, requests: Sequence[DiagnoseRequest]) -> List[BatchResult]:
+    def execute_batch(
+        self,
+        requests: Sequence[DiagnoseRequest],
+        traces: Optional[Sequence[Optional[Tuple[str, str]]]] = None,
+    ) -> List[BatchResult]:
         """Diagnose a coalesced batch (all requests share a workload key).
 
         Per-request failures (bad fault index, out-of-range cell) become
         :class:`ServiceError` slots; a workload-level failure (unknown
         circuit) fails every slot with the same error.  The result list is
         index-aligned with ``requests``.
+
+        ``traces`` (optional, index-aligned) carries each member's
+        ``(trace_id, server_span_id)``; the engine then records one batch
+        flight span — child of the head member's server span, *linked* to
+        every other member's — and runs the kernel under that trace
+        context so fork-chunk spans nest beneath it.
         """
         if not requests:
             return []
@@ -196,8 +215,9 @@ class DiagnosisEngine:
 
         live = [i for i, r in enumerate(responses) if r is not None]
         if live:
-            diagnosed = self._diagnose_many(
-                [responses[i] for i in live], context, requests[0]
+            diagnosed = self._diagnose_traced(
+                [responses[i] for i in live], context, requests[0],
+                self._live_traces(traces, live),
             )
             for slot, outcome in zip(live, diagnosed):
                 request = requests[slot]
@@ -246,6 +266,50 @@ class DiagnosisEngine:
             cell_errors[cell] = vec
         fault = Fault(f"external:{request.request_id or 'anon'}", 0)
         return FaultResponse(fault, cell_errors, request.num_patterns)
+
+    @staticmethod
+    def _live_traces(
+        traces: Optional[Sequence[Optional[Tuple[str, str]]]],
+        live: Sequence[int],
+    ) -> List[Tuple[str, str]]:
+        """The (trace_id, span_id) pairs of the live batch slots, in order."""
+        if not traces:
+            return []
+        return [traces[i] for i in live
+                if i < len(traces) and traces[i] is not None]
+
+    def _diagnose_traced(
+        self,
+        responses: List[FaultResponse],
+        context: WorkloadContext,
+        head: DiagnoseRequest,
+        trace_pairs: List[Tuple[str, str]],
+    ) -> List[Union[DiagnosisResult, ServiceError]]:
+        """Run the batch, recording one flight span linked to every member
+        trace and installing the trace context for the fork fan-out."""
+        if not trace_pairs or not FLIGHT.enabled:
+            return self._diagnose_many(responses, context, head)
+        head_trace, head_span = trace_pairs[0]
+        batch_span = new_span_id()
+        start_wall = time.time()
+        t0 = time.perf_counter()
+        with trace_scope(head_trace, batch_span):
+            outcomes = self._diagnose_many(responses, context, head)
+        failed = sum(1 for o in outcomes if isinstance(o, ServiceError))
+        FLIGHT.record(make_record(
+            "service.batch", head_trace, batch_span,
+            parent_id=head_span, kind="batch",
+            key=f"{head.circuit}/{head.scheme}",
+            start=start_wall,
+            duration_ms=(time.perf_counter() - t0) * 1000,
+            status="ok" if not failed else "internal_error",
+            links=[{"trace_id": t, "span_id": s}
+                   for t, s in trace_pairs[1:]],
+            batch_size=len(responses),
+            circuit=head.circuit,
+            scheme=head.scheme,
+        ))
+        return outcomes
 
     def _diagnose_many(
         self,

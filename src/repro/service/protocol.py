@@ -253,6 +253,9 @@ class DiagnoseReply:
     queue_wait_ms: Optional[float] = None
     execute_ms: Optional[float] = None
     batch_size: Optional[int] = None
+    #: The request's trace id (client-supplied or server-minted); feed it
+    #: to ``GET /debug/trace/<id>`` for the assembled span tree.
+    trace_id: Optional[str] = None
 
     def to_payload(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
@@ -275,6 +278,8 @@ class DiagnoseReply:
             timing["batch_size"] = self.batch_size
         if timing:
             payload["timing"] = timing
+        if self.trace_id:
+            payload["trace_id"] = self.trace_id
         return payload
 
     @classmethod
@@ -292,4 +297,5 @@ class DiagnoseReply:
             queue_wait_ms=timing.get("queue_wait_ms"),
             execute_ms=timing.get("execute_ms"),
             batch_size=timing.get("batch_size"),
+            trace_id=payload.get("trace_id"),
         )

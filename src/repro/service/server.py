@@ -25,10 +25,22 @@ Endpoints:
   ``Accept: text/plain`` selects the Prometheus text exposition
   (:mod:`repro.telemetry.promexp`) instead — counters, gauges, and the
   latency board as real ``_bucket``/``_sum``/``_count`` histograms.
+* ``GET /debug/requests`` — flight-recorder snapshot: the most recent,
+  slowest, and most recently failing requests per route/workload, each
+  with its queue/batch/kernel timing breakdown (``?limit=N``).
+* ``GET /debug/trace/<trace_id>`` — the assembled span tree for one
+  trace (server -> batch -> fork chunk), plus the raw records so a
+  cluster supervisor can pool workers' records and re-assemble.
+* ``GET /debug/profile?seconds=N`` — on-demand sampling-profiler burst;
+  returns collapsed stacks as ``text/plain`` (flamegraph.pl input).
+
+Every request runs under a trace context: the client's ``traceparent``
+header is honoured when valid, otherwise the server mints ids; the reply
+payload echoes ``trace_id`` so clients can fetch the tree afterwards.
 
 Knobs (constructor arguments; the CLI maps env vars onto them):
 ``REPRO_SERVE_PORT``, ``REPRO_BATCH_MAX``, ``REPRO_BATCH_WAIT_MS``,
-``REPRO_QUEUE_DEPTH``.
+``REPRO_QUEUE_DEPTH``, ``REPRO_FLIGHT_SPANS``.
 
 Shutdown: SIGTERM/SIGINT stop the listener, flip ``/healthz`` to
 ``draining`` (new diagnoses get 503 ``shutting_down``), let queued and
@@ -39,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import functools
 import json
 import os
 import signal
@@ -48,14 +61,22 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
-from urllib.parse import parse_qs
+from urllib.parse import parse_qs, unquote
 
 from ..experiments import cache
 from ..telemetry import (
+    FLIGHT,
     METRICS,
     PROMETHEUS_CONTENT_TYPE,
+    SamplingProfiler,
+    assemble_tree,
     log,
+    make_record,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
     render_prometheus,
+    trace_scope,
 )
 from .batching import BatchQueue, PendingRequest
 from .engine import DiagnosisEngine
@@ -171,6 +192,8 @@ class DiagnosisServer:
         self._draining = False
         self._stopped = asyncio.Event()
         self._request_counts: Dict[str, int] = {}
+        #: One on-demand profiler burst at a time (``/debug/profile``).
+        self._profile_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -257,9 +280,12 @@ class DiagnosisServer:
             self._inflight += len(batch)
             started = time.monotonic()
             requests = [entry.request for entry in batch]
+            traces = [entry.trace for entry in batch]
             try:
                 results = await loop.run_in_executor(
-                    self._executor, self.engine.execute_batch, requests
+                    self._executor,
+                    functools.partial(self.engine.execute_batch, requests,
+                                      traces=traces),
                 )
             except Exception as exc:  # noqa: BLE001 - request-level boundary
                 log(f"service: batch execution raised: {exc!r}")
@@ -390,7 +416,7 @@ class DiagnosisServer:
             if path == "/diagnose":
                 if method != "POST":
                     raise ServiceError("method_not_allowed", "use POST /diagnose")
-                reply = await self._handle_diagnose(body)
+                reply = await self._handle_diagnose(body, headers)
                 self._count("ok")
                 return 200, reply.to_payload(), None
             if path == "/healthz":
@@ -404,6 +430,28 @@ class DiagnosisServer:
                 if self._wants_prometheus(query, headers):
                     return 200, self._prometheus_body(), None
                 return 200, self._metrics_payload(), None
+            if path == "/debug/requests":
+                if method != "GET":
+                    raise ServiceError("method_not_allowed",
+                                       "use GET /debug/requests")
+                return 200, self._debug_requests_payload(query), None
+            if path.startswith("/debug/trace/"):
+                if method != "GET":
+                    raise ServiceError("method_not_allowed",
+                                       "use GET /debug/trace/<trace_id>")
+                trace_id = unquote(path[len("/debug/trace/"):])
+                return 200, self._debug_trace_payload(trace_id), None
+            if path == "/debug/profile":
+                if method != "GET":
+                    raise ServiceError("method_not_allowed",
+                                       "use GET /debug/profile")
+                return 200, await self._handle_debug_profile(query), None
+            if path == "/debug/flightrec":
+                if method not in ("GET", "POST"):
+                    raise ServiceError("method_not_allowed",
+                                       "use GET or POST /debug/flightrec")
+                return 200, self._debug_flightrec_payload(
+                    body if method == "POST" else None), None
             raise ServiceError("no_such_route", f"no route for {path}")
         except ServiceError as exc:
             self._count(exc.code)
@@ -417,43 +465,89 @@ class DiagnosisServer:
             error = ServiceError("internal_error", "unexpected server error")
             return error.status, error.to_payload(), None
 
+    #: Error code -> ``outcome`` label.  Load shedding (admission control,
+    #: deadlines) is not a server failure; the taxonomy keeps rejected and
+    #: timed-out requests distinguishable from errors on the boards.
+    _OUTCOMES = {
+        "queue_full": "rejected",
+        "shutting_down": "rejected",
+        "deadline_exceeded": "timeout",
+    }
+
     def _count(self, code: str) -> None:
         self._request_counts[code] = self._request_counts.get(code, 0) + 1
-        METRICS.incr("service.requests", labels={"code": code})
+        outcome = "ok" if code == "ok" else self._OUTCOMES.get(code, "error")
+        METRICS.incr("service.requests",
+                     labels={"code": code, "outcome": outcome})
 
-    async def _handle_diagnose(self, body: bytes) -> DiagnoseReply:
+    async def _handle_diagnose(
+        self, body: bytes, headers: Optional[Dict[str, str]] = None,
+    ) -> DiagnoseReply:
         arrived = time.monotonic()
-        try:
-            payload = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            raise ServiceError("malformed_payload", "request body is not valid JSON")
-        request = DiagnoseRequest.from_payload(payload)
-        if self._draining:
-            raise ServiceError("shutting_down", "server is draining")
-        timeout_ms = request.timeout_ms or self.default_timeout_ms
-        deadline = arrived + timeout_ms / 1000.0 if timeout_ms else None
-        entry = PendingRequest(
-            request=request,
-            future=asyncio.get_event_loop().create_future(),
-            enqueued_at=arrived,
-            deadline=deadline,
-        )
-        self.queue.offer(entry)  # raises queue_full / shutting_down
-        await self.queue.announce()
-        try:
-            if deadline is not None:
-                reply = await asyncio.wait_for(
-                    entry.future, timeout=deadline - time.monotonic())
-            else:
-                reply = await entry.future
-        except asyncio.TimeoutError:
-            METRICS.incr("service.timeouts")
-            raise ServiceError("deadline_exceeded",
-                              f"request exceeded {timeout_ms:.0f} ms")
-        finally:
-            self.latency["total"].observe(time.monotonic() - arrived)
-            METRICS.observe("service.latency_s", time.monotonic() - arrived)
-        return reply
+        started_wall = time.time()
+        parent = parse_traceparent((headers or {}).get("traceparent"))
+        if parent is not None:
+            trace_id, client_span = parent
+        else:
+            trace_id, client_span = new_trace_id(), None
+        server_span = new_span_id()
+        flight_key = "/diagnose"
+        flight_extra: Dict[str, Any] = {}
+        status = "ok"
+        with trace_scope(trace_id, server_span):
+            try:
+                try:
+                    payload = json.loads(body.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    raise ServiceError("malformed_payload",
+                                       "request body is not valid JSON")
+                request = DiagnoseRequest.from_payload(payload)
+                flight_key = f"{request.circuit}/{request.scheme}"
+                if self._draining:
+                    raise ServiceError("shutting_down", "server is draining")
+                timeout_ms = request.timeout_ms or self.default_timeout_ms
+                deadline = arrived + timeout_ms / 1000.0 if timeout_ms else None
+                entry = PendingRequest(
+                    request=request,
+                    future=asyncio.get_event_loop().create_future(),
+                    enqueued_at=arrived,
+                    deadline=deadline,
+                    trace=(trace_id, server_span),
+                )
+                self.queue.offer(entry)  # raises queue_full / shutting_down
+                await self.queue.announce()
+                try:
+                    if deadline is not None:
+                        reply = await asyncio.wait_for(
+                            entry.future, timeout=deadline - time.monotonic())
+                    else:
+                        reply = await entry.future
+                except asyncio.TimeoutError:
+                    METRICS.incr("service.timeouts")
+                    raise ServiceError("deadline_exceeded",
+                                       f"request exceeded {timeout_ms:.0f} ms")
+                finally:
+                    self.latency["total"].observe(time.monotonic() - arrived)
+                    METRICS.observe("service.latency_s",
+                                    time.monotonic() - arrived)
+                reply.trace_id = trace_id
+                flight_extra = {
+                    "queue_wait_ms": reply.queue_wait_ms,
+                    "execute_ms": reply.execute_ms,
+                    "batch_size": reply.batch_size,
+                }
+                return reply
+            except ServiceError as exc:
+                status = exc.code
+                raise
+            finally:
+                FLIGHT.record(make_record(
+                    "service.request", trace_id, server_span,
+                    parent_id=client_span, kind="request", key=flight_key,
+                    start=started_wall,
+                    duration_ms=(time.monotonic() - arrived) * 1000,
+                    status=status, **flight_extra,
+                ))
 
     # -- introspection -------------------------------------------------------
 
@@ -535,6 +629,97 @@ class DiagnosisServer:
             },
             "registry": METRICS.snapshot(),
         }
+
+    # -- debug plane ---------------------------------------------------------
+
+    def _debug_requests_payload(self, query: str) -> Dict[str, Any]:
+        try:
+            limit = int((parse_qs(query).get("limit") or ["50"])[0])
+        except ValueError:
+            raise ServiceError("invalid_argument", "limit must be an integer")
+        snap = FLIGHT.snapshot(limit=max(1, min(limit, 1000)))
+        snap["pid"] = os.getpid()
+        snap["draining"] = self._draining
+        return snap
+
+    def _debug_trace_payload(self, trace_id: str) -> Dict[str, Any]:
+        trace_id = trace_id.strip().lower()
+        if not trace_id:
+            raise ServiceError("invalid_argument",
+                               "usage: GET /debug/trace/<trace_id>")
+        records = FLIGHT.records_for_trace(trace_id)
+        tree = assemble_tree(records, trace_id)
+        # Raw records ride along so a cluster supervisor can pool every
+        # worker's records and re-assemble one fleet-wide tree.
+        tree["records"] = records
+        return tree
+
+    def _debug_flightrec_payload(
+        self, body: Optional[bytes],
+    ) -> Dict[str, Any]:
+        """GET: recorder state.  POST ``{"capacity": N}``: live resize.
+
+        ``capacity: 0`` switches recording off without a restart (and a
+        later POST re-enables it) — what an operator reaches for when a
+        ring of span dicts is unwelcome on a squeezed heap, and what the
+        bench overhead stage uses to A/B one process against itself.
+        """
+        if body is not None:
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+                capacity = int(payload["capacity"])
+            except (UnicodeDecodeError, json.JSONDecodeError,
+                    KeyError, TypeError, ValueError):
+                raise ServiceError(
+                    "invalid_argument",
+                    'usage: POST /debug/flightrec {"capacity": <int >= 0>}')
+            if capacity < 0:
+                raise ServiceError("invalid_argument",
+                                   "capacity must be >= 0")
+            FLIGHT.resize(capacity)
+        return {
+            "capacity": FLIGHT.capacity,
+            "enabled": FLIGHT.enabled,
+            "recorded": FLIGHT.snapshot(limit=1)["recorded"],
+            "pid": os.getpid(),
+        }
+
+    async def _handle_debug_profile(self, query: str) -> Tuple[bytes, str]:
+        params = parse_qs(query)
+        try:
+            seconds = float((params.get("seconds") or ["1"])[0])
+            hz = int((params.get("hz") or ["0"])[0])
+        except ValueError:
+            raise ServiceError("invalid_argument",
+                               "seconds and hz must be numeric")
+        seconds = min(max(seconds, 0.05), 30.0)
+        loop = asyncio.get_event_loop()
+        # The *default* executor, never self._executor: a burst must not
+        # occupy a dispatcher thread for `seconds` of batch capacity.
+        folded = await loop.run_in_executor(
+            None, self._profile_burst, seconds, hz or None)
+        body = "\n".join(folded) + ("\n" if folded else "")
+        return body.encode("utf-8"), "text/plain; charset=utf-8"
+
+    def _profile_burst(self, seconds: float, hz: Optional[int]) -> List[str]:
+        """Run a private sampling-profiler burst and return folded stacks.
+
+        Private instance (the global :data:`PROFILER` may be serving the
+        pipeline); the lock serializes concurrent bursts — the second
+        caller gets 429 with a Retry-After instead of doubled samplers.
+        """
+        if not self._profile_lock.acquire(blocking=False):
+            raise ServiceError("queue_full",
+                               "another profile burst is running",
+                               retry_after_s=seconds)
+        try:
+            profiler = SamplingProfiler(hz=hz)
+            profiler.start()
+            time.sleep(seconds)
+            profiler.stop()
+            return profiler.data.folded_lines()
+        finally:
+            self._profile_lock.release()
 
 
 class ThreadedServer:

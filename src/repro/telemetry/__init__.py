@@ -33,6 +33,19 @@ from .export import (
     write_manifest,
     write_trace_jsonl,
 )
+from .flightrec import (
+    FLIGHT,
+    FlightRecorder,
+    assemble_tree,
+    current_trace,
+    current_trace_id,
+    format_traceparent,
+    make_record,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    trace_scope,
+)
 from .log import debug, log, log_level, set_log_level, warn_env_once
 from .metrics import (
     METRICS,
@@ -69,6 +82,8 @@ from .tracer import (
 
 __all__ = [
     "ENV_KNOBS",
+    "FLIGHT",
+    "FlightRecorder",
     "MANIFEST_SCHEMA",
     "MANIFEST_SCHEMA_NAME",
     "MANIFEST_SCHEMA_VERSION",
@@ -84,19 +99,27 @@ __all__ = [
     "TRACER",
     "Tracer",
     "active_span_name",
+    "assemble_tree",
     "build_manifest",
     "config_hash",
+    "current_trace",
+    "current_trace_id",
     "debug",
     "disable_profiling",
     "disable_tracing",
     "enable_profiling",
     "enable_tracing",
+    "format_traceparent",
     "git_sha",
     "kernel_selection",
     "log",
     "log_level",
+    "make_record",
     "merge_snapshots",
     "metric_key",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
     "print_span_tree",
     "profile_enabled",
     "read_trace_jsonl",
@@ -109,6 +132,7 @@ __all__ = [
     "span_rollup",
     "split_metric_key",
     "trace_enabled",
+    "trace_scope",
     "traced",
     "validate_manifest",
     "warn_env_once",

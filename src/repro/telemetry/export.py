@@ -49,6 +49,7 @@ ENV_KNOBS = (
     "REPRO_BATCH_MAX",
     "REPRO_BATCH_WAIT_MS",
     "REPRO_QUEUE_DEPTH",
+    "REPRO_FLIGHT_SPANS",
 )
 
 MANIFEST_SCHEMA_NAME = "repro-run-manifest"

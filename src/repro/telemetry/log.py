@@ -23,6 +23,17 @@ _WARNED_ENV: Set[Tuple[str, str]] = set()
 #: Programmatic override (the CLI may set this); None defers to the env.
 _FORCED_LEVEL: Optional[str] = None
 
+#: Callable returning the active request trace id (or None); installed by
+#: :mod:`repro.telemetry.flightrec`, which sits above us in the import
+#: graph.  When a trace context is active every log line is prefixed
+#: ``[trace_id]`` so fleet stderr can be grepped per request.
+_TRACE_ID_PROVIDER = None
+
+
+def set_trace_id_provider(provider) -> None:
+    global _TRACE_ID_PROVIDER
+    _TRACE_ID_PROVIDER = provider
+
 
 def log_level() -> str:
     """Active verbosity name (``quiet`` / ``info`` / ``debug``)."""
@@ -44,6 +55,10 @@ def log(message: Any, level: str = "info", stream: Optional[TextIO] = None) -> N
     """Emit one progress line if the active verbosity admits ``level``."""
     if LEVELS.get(level, 1) > LEVELS[log_level()]:
         return
+    if _TRACE_ID_PROVIDER is not None:
+        trace_id = _TRACE_ID_PROVIDER()
+        if trace_id:
+            message = f"[{trace_id}] {message}"
     print(message, file=stream if stream is not None else sys.stderr, flush=True)
 
 

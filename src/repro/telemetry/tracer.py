@@ -23,6 +23,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from .flightrec import current_trace, new_span_id, new_trace_id
 from .log import warn_env_once
 
 #: ``REPRO_TRACE`` spellings that switch tracing on / off.  Anything else
@@ -68,6 +69,7 @@ class Span:
     __slots__ = (
         "name", "attributes", "counters", "children",
         "start_wall", "end_wall", "start_cpu", "end_cpu", "pid",
+        "trace_id", "span_id", "parent_id",
     )
 
     def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None):
@@ -80,6 +82,17 @@ class Span:
         self.end_wall: Optional[float] = None
         self.end_cpu: Optional[float] = None
         self.pid = os.getpid()
+        # Distributed identity: every span mints its own id; the trace id
+        # and parent come from the active request context (flightrec) or
+        # the enclosing span — a root outside any request starts a new
+        # trace (so trace.jsonl files always carry valid ids).
+        self.span_id = new_span_id()
+        context = current_trace()
+        if context is not None:
+            self.trace_id, self.parent_id = context
+        else:
+            self.trace_id = new_trace_id()
+            self.parent_id: Optional[str] = None
 
     # -- recording ----------------------------------------------------------
 
@@ -132,6 +145,9 @@ class Span:
             "wall_s": round(self.duration_s, 9),
             "cpu_s": round(self.cpu_s, 9),
             "pid": self.pid,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
             "attributes": self.attributes,
             "counters": self.counters,
             "children": [c.to_dict() for c in self.children],
@@ -144,6 +160,10 @@ class Span:
         span.pid = int(data.get("pid", os.getpid()))
         span.end_wall = span.start_wall + float(data.get("wall_s", 0.0))
         span.end_cpu = span.start_cpu + float(data.get("cpu_s", 0.0))
+        # Pre-PR10 wire dicts carried no ids; keep the minted ones then.
+        span.trace_id = data.get("trace_id") or span.trace_id
+        span.span_id = data.get("span_id") or span.span_id
+        span.parent_id = data.get("parent_id", span.parent_id)
         span.children = [cls.from_dict(c) for c in data.get("children", [])]
         return span
 
@@ -185,6 +205,8 @@ class _SpanContext:
         parent = self._tracer._current.get()
         if parent is not None:
             parent.children.append(self._span)
+            self._span.trace_id = parent.trace_id
+            self._span.parent_id = parent.span_id
         self._token = self._tracer._current.set(self._span)
         ident = threading.get_ident()
         self._prev_name = _THREAD_SPANS.get(ident)
@@ -301,6 +323,10 @@ class Tracer:
             span = Span.from_dict(data)
             if parent is not None:
                 parent.children.append(span)
+                if span.parent_id is None:
+                    span.parent_id = parent.span_id
+                if "trace_id" not in data or not data.get("trace_id"):
+                    span.trace_id = parent.trace_id
             else:
                 self._file_root(span)
 

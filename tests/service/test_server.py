@@ -26,9 +26,9 @@ class SlowEngine(DiagnosisEngine):
         super().__init__(workers=0)
         self.delay_s = delay_s
 
-    def execute_batch(self, requests):
+    def execute_batch(self, requests, traces=None):
         time.sleep(self.delay_s)
-        return super().execute_batch(requests)
+        return super().execute_batch(requests, traces=traces)
 
 
 class TestHappyPath:

@@ -105,6 +105,20 @@ class TestRegistryRendering:
         assert value == "1"
         assert labels["path"] == r"a\"b\\c"
 
+    def test_newlines_in_label_values_escape_to_one_line(self):
+        # A raw newline in a label value would split the sample across
+        # two exposition lines — the strict parser rejects both halves.
+        METRICS.incr("odd.counter", 1, labels={"path": 'a\nb\\n"c'})
+        text = render_prometheus(METRICS.snapshot())
+        families, samples = _parse(text)
+        (_, labels, value), = [
+            s for s in samples if s[0] == "repro_odd_counter_total"
+        ]
+        assert value == "1"
+        # \n must render as the two-character escape, backslash first
+        # (escaping order matters: backslash -> newline -> quote).
+        assert labels["path"] == 'a\\nb\\\\n\\"c'
+
     def test_empty_registry_renders_empty_scrape(self):
         families, samples = _parse(render_prometheus(
             {"counters": {}, "gauges": {}, "histograms": {}}
